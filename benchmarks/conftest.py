@@ -1,0 +1,24 @@
+"""Benchmark-suite helpers.
+
+Experiment benches regenerate a whole paper figure, so they run exactly
+once (``rounds=1``) — pytest-benchmark records the wall time, and the
+regenerated table is printed so ``pytest benchmarks/ --benchmark-only -s``
+shows the same rows the paper reports.  EXPERIMENTS.md is the curated
+record of these outputs.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def regenerate(benchmark, capsys):
+    """Run a figure regenerator once under the benchmark clock and print it."""
+
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(result.text())
+        return result
+
+    return _run

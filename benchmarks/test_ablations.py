@@ -1,0 +1,40 @@
+"""Ablation benches for the design choices DESIGN.md §5 calls out."""
+
+from repro.experiments.ablations import (
+    ablate_discriminant,
+    ablate_guard,
+    ablate_keep_alive,
+    ablate_sample_period,
+)
+
+
+def test_abl_guard(regenerate):
+    result = regenerate(ablate_guard, name="matmul", day=2400.0)
+    rows = {row[0]: row for row in result.rows}
+    # the guard never makes the background tenants worse
+    assert rows["guard on"][2] <= rows["guard off"][2] + 0.02
+
+
+def test_abl_sample_period(regenerate):
+    result = regenerate(ablate_sample_period, name="float", day=2400.0)
+    rows = {row[0]: row for row in result.rows}
+    # an over-eager sampler switches at least as often (flapping risk)
+    assert rows["3 s period"][3] >= rows["Eq. 8 period"][3]
+
+
+def test_abl_keepalive(regenerate):
+    result = regenerate(ablate_keep_alive, name="float", day=2400.0)
+    mem = [row[2] for row in result.rows]
+    cold = [row[3] for row in result.rows]
+    # the trade-off axis: longer keep-alive = more memory, fewer colds
+    assert mem[-1] >= mem[0]
+    assert cold[-1] <= cold[0]
+
+
+def test_abl_discriminant(regenerate):
+    result = regenerate(ablate_discriminant, name="matmul", day=2400.0)
+    rows = {row[0]: row for row in result.rows}
+    # the loose utilization rule risks QoS relative to Eq. 5
+    assert rows["rho < 0.9"][1] >= rows["Eq. 5 (M/M/N)"][1]
+    # the tight rule burns at least as many cores as Eq. 5
+    assert rows["rho < 0.5"][2] >= rows["Eq. 5 (M/M/N)"][2] * 0.95

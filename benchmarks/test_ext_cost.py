@@ -1,0 +1,16 @@
+"""Extension bench: maintainer-side dollar cost per system."""
+
+from repro.experiments.figures import cost_comparison
+
+
+def test_cost_comparison(regenerate):
+    result = regenerate(cost_comparison, day=2400.0)
+    by_key = {(row[0], row[1]): row for row in result.rows}
+    for name in ("float", "matmul", "linpack", "dd", "cloud_stor"):
+        nameko_total = by_key[(name, "nameko")][4]
+        amoeba_total = by_key[(name, "amoeba")][4]
+        # the paper's economic motivation: hybrid deployment is cheaper
+        # for the maintainer than holding the peak rental all month
+        assert amoeba_total < nameko_total, name
+        # Nameko's bill is pure IaaS; Amoeba's has both components
+        assert by_key[(name, "nameko")][3] == 0.0

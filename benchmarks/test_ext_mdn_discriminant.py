@@ -1,0 +1,46 @@
+"""Extension bench: M/M/N (Eq. 5) vs. the M/D/N-corrected discriminant.
+
+The paper's Eq. 5 uses the exponential-service wait, which is
+conservative for near-deterministic FaaS kernels.  The Allen–Cunneen
+corrected backend ("mdn") admits more load at the same QoS — more time on
+serverless, same (or better) compliance.
+"""
+
+from repro.core.config import AmoebaConfig
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import run_amoeba, run_nameko
+from repro.experiments.scenarios import default_scenario
+
+
+def _compare(day=2400.0, seed=0, name="matmul") -> FigureResult:
+    scenario = default_scenario(name, day=day, seed=seed)
+    baseline = run_nameko(scenario).foreground(scenario).usage
+    rows = []
+    for label, cfg in (
+        ("Eq. 5 (M/M/N)", AmoebaConfig()),
+        ("Allen-Cunneen (M/D/N)", AmoebaConfig(discriminant="mdn")),
+    ):
+        fg = run_amoeba(scenario, config=cfg).foreground(scenario)
+        cpu_ratio, mem_ratio = fg.usage.normalized_to(baseline)
+        rows.append(
+            [label, fg.metrics.violation_fraction,
+             fg.metrics.exact_percentile(95) / scenario.foreground.qos_target,
+             cpu_ratio, mem_ratio]
+        )
+    return FigureResult(
+        figure="Extension: discriminant backend",
+        title=f"wait-model correction for near-deterministic service ({name})",
+        headers=["backend", "violations", "p95 / QoS", "cpu vs nameko", "mem vs nameko"],
+        rows=rows,
+        notes="the corrected wait admits more load on serverless at equal QoS",
+    )
+
+
+def test_mdn_discriminant(regenerate):
+    result = regenerate(_compare)
+    rows = {row[0]: row for row in result.rows}
+    mmn = rows["Eq. 5 (M/M/N)"]
+    mdn = rows["Allen-Cunneen (M/D/N)"]
+    # both meet QoS; the corrected backend is at least as resource-lean
+    assert mmn[2] <= 1.0 and mdn[2] <= 1.05
+    assert mdn[3] <= mmn[3] * 1.05

@@ -1,0 +1,16 @@
+"""Extension bench: all Table III services under one Amoeba runtime."""
+
+from repro.experiments.portfolio import portfolio_figure
+
+
+def test_portfolio(regenerate):
+    result = regenerate(portfolio_figure, day=2400.0)
+    assert len(result.rows) == 5
+    for name, p95_ratio, violations, cpu_ratio, mem_ratio, switches in result.rows:
+        # every managed service keeps its QoS while sharing the platform
+        assert p95_ratio <= 1.0, f"{name}: p95/QoS {p95_ratio}"
+        assert violations < 0.05, name
+        # and still saves vs. a dedicated peak-sized rental
+        assert cpu_ratio < 1.0, name
+    # the portfolio as a whole switches: the engine is actually working
+    assert sum(row[5] for row in result.rows) >= 5

@@ -1,0 +1,14 @@
+"""Fig. 2: CPU utilization of the benchmarks with IaaS-based deployment."""
+
+from repro.experiments.figures import fig2_iaas_utilization
+
+
+def test_fig02_iaas_utilization(regenerate):
+    result = regenerate(fig2_iaas_utilization, day=3600.0, windows=48)
+    for _name, lo, avg, hi in result.rows:
+        assert 0.0 <= lo <= avg <= hi <= 1.0
+    # the paper's point: just-enough IaaS still averages low utilization
+    assert max(row[2] for row in result.rows) < 0.8
+    # float's tight QoS keeps its utilization low despite being CPU-bound
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["float"][2] < by_name["matmul"][2]

@@ -1,0 +1,14 @@
+"""Fig. 3: serverless peak load normalized to IaaS with the same resources."""
+
+from repro.experiments.figures import fig3_peak_loads
+
+
+def test_fig03_peak_load(regenerate):
+    result = regenerate(fig3_peak_loads, duration=300.0)
+    ratios = {row[0]: row[3] for row in result.rows}
+    # paper band: 0.739-0.892; we assert the structural claims —
+    # serverless always below IaaS, by an overhead-sized margin
+    for name, ratio in ratios.items():
+        assert 0.55 < ratio < 1.0, f"{name}: {ratio}"
+    # float pays the largest relative overhead (shortest kernel)
+    assert ratios["float"] == min(ratios.values())

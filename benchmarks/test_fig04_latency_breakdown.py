@@ -1,0 +1,12 @@
+"""Fig. 4: latency breakdown of serverless queries."""
+
+from repro.experiments.figures import fig4_latency_breakdown
+
+
+def test_fig04_latency_breakdown(regenerate):
+    result = regenerate(fig4_latency_breakdown, duration=400.0)
+    for row in result.rows:
+        name, proc, load, exec_, post, overhead = row
+        # paper: extra overheads are 10-45% of the end-to-end latency
+        assert 0.05 <= overhead <= 0.45, f"{name}: {overhead}"
+        assert exec_ == max(proc, load, exec_, post)

@@ -1,0 +1,17 @@
+"""Fig. 8: latency variation of the CPU/IO/network contention meters."""
+
+import numpy as np
+
+from repro.experiments.figures import fig8_meter_curves
+
+
+def test_fig08_meter_curves(regenerate):
+    result = regenerate(fig8_meter_curves, points=7, queries_per_point=60)
+    for meter in ("meter_cpu", "meter_io", "meter_net"):
+        measured = result.extras[meter]["measured"]
+        # monotone, meaningfully increasing curves (invertible)
+        assert np.all(np.diff(measured.latencies) >= 0)
+        assert measured.latencies[-1] > 1.5 * measured.latencies[0]
+    # measured and analytic agree (rows carry the relative difference)
+    rel_diffs = [row[4] for row in result.rows]
+    assert float(np.median(rel_diffs)) < 0.1

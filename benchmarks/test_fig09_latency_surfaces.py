@@ -1,0 +1,24 @@
+"""Fig. 9: latency surfaces of an example microservice."""
+
+from repro.experiments.figures import fig9_latency_surfaces
+
+
+def test_fig09_latency_surfaces(regenerate):
+    result = regenerate(
+        fig9_latency_surfaces,
+        service="dd",
+        pressures=(0.0, 0.5, 1.0, 1.4),
+        load_fractions=(0.0, 0.3, 0.6),
+        duration=120.0,
+    )
+    # dd is IO-dominant: at the highest profiled pressure its IO surface
+    # sits above CPU, which sits above network (Table III ordering)
+    def cell(axis, p, v):
+        return next(r[4] for r in result.rows if r[1] == axis and r[2] == p and r[3] == v)
+
+    top_io = cell("io", 1.4, 0.0)
+    top_cpu = cell("cpu", 1.4, 0.0)
+    top_net = cell("net", 1.4, 0.0)
+    assert top_io > top_cpu > top_net
+    # latency grows along the pressure axis of the sensitive resource
+    assert cell("io", 1.4, 0.0) > cell("io", 0.5, 0.0) > 0

@@ -1,0 +1,13 @@
+"""Fig. 11: normalized resource usage of Amoeba vs. Nameko."""
+
+from repro.experiments.figures import FIG_DAY, fig11_resource_usage
+
+
+def test_fig11_resource_usage(regenerate):
+    result = regenerate(fig11_resource_usage, day=FIG_DAY)
+    for name, cpu_ratio, mem_ratio, cpu_red, mem_red in result.rows:
+        # paper: CPU reduced by 29.1-72.9%, memory by 30.2-84.9%
+        assert 0.15 <= cpu_red <= 0.85, f"{name}: cpu reduction {cpu_red}"
+        assert 0.15 <= mem_red <= 0.90, f"{name}: mem reduction {mem_red}"
+    reductions = [row[3] for row in result.rows]
+    assert max(reductions) > 0.5  # someone saves big (paper: up to 72.9%)

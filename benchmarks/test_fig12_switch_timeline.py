@@ -1,0 +1,21 @@
+"""Fig. 12: timeline of the deploy-mode switches (float and dd)."""
+
+from repro.experiments.export import ascii_mode_timeline
+from repro.experiments.figures import FIG_DAY, fig12_switch_timeline
+
+
+def test_fig12_switch_timeline(regenerate, capsys):
+    result = regenerate(fig12_switch_timeline, services=("float", "dd"), day=FIG_DAY)
+    with capsys.disabled():
+        for name in ("float", "dd"):
+            timeline = result.extras[name]["mode_timeline"]
+            print(ascii_mode_timeline(timeline, FIG_DAY, label=f"{name:<6}"))
+    for name in ("float", "dd"):
+        events = result.extras[name]["switch_events"]
+        assert len(events) >= 2, f"{name} never switched"
+        directions = {d for _t, d, _l in events}
+        assert "serverless" in directions  # at least one switch-in happened
+    # the paper's observation: switch loads are not identical — they vary
+    # with direction and with the contention at switch time
+    loads = [row[3] for row in result.rows]
+    assert max(loads) - min(loads) > 0.5

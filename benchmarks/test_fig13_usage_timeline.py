@@ -1,0 +1,23 @@
+"""Fig. 13: timeline of resource-usage variation with Amoeba."""
+
+from repro.experiments.export import ascii_series
+from repro.experiments.figures import FIG_DAY, fig13_usage_timeline
+
+
+def test_fig13_usage_timeline(regenerate, capsys):
+    result = regenerate(fig13_usage_timeline, services=("float", "dd"), day=FIG_DAY)
+    with capsys.disabled():
+        for name in ("float", "dd"):
+            grid = result.extras[name]["grid"]
+            cpu = result.extras[name]["cpu"]
+            print(ascii_series(grid, cpu, label=f"{name}: occupied cores over the day"))
+    rows = {row[0]: row for row in result.rows}
+    for name in ("float", "dd"):
+        cpu = result.extras[name]["cpu"]
+        mem = result.extras[name]["mem"]
+        # the usage level actually varies over the day (that is the point)
+        assert cpu.max() > 2 * max(cpu.min(), 1e-9)
+        assert mem.max() > 0
+    # float (tight QoS, big rental steps) changes more abruptly than its
+    # own mean level; the "max step / max" column captures Fig. 13(a)
+    assert rows["float"][5] > 0.3

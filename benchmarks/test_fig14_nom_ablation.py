@@ -1,0 +1,19 @@
+"""Fig. 14: resource usage of Amoeba vs. Amoeba-NoM."""
+
+from repro.experiments.figures import FIG_DAY, fig14_nom_ablation
+
+
+def test_fig14_nom_ablation(regenerate):
+    result = regenerate(fig14_nom_ablation, day=FIG_DAY)
+    cpu_factors = [row[3] for row in result.rows]  # nom / amoeba
+    mem_factors = [row[6] for row in result.rows]
+    # paper: NoM uses up to 1.77x CPU and 2.38x memory of Amoeba.  Our
+    # sub-saturation ambient regime attenuates the magnitude (see
+    # EXPERIMENTS.md) but the ordering must hold: accumulation never
+    # beats calibration, and it clearly loses on the multi-axis services.
+    assert sum(cpu_factors) / len(cpu_factors) > 1.02
+    assert max(cpu_factors) > 1.10
+    assert max(mem_factors) > 1.10
+    # the paper's own caveat holds too: some benchmarks end up similar
+    # ("linpack and dd achieve similar CPU and memory resource usage")
+    assert min(cpu_factors) > 0.95

@@ -1,0 +1,19 @@
+"""Fig. 15: average error of the discriminant function λ(μ)."""
+
+import numpy as np
+
+from repro.experiments.figures import FIG_DAY, fig15_discriminant_error
+
+
+def test_fig15_discriminant_error(regenerate):
+    result = regenerate(fig15_discriminant_error, day=FIG_DAY, duration=240.0)
+    err = {(row[0], row[1]): row[4] for row in result.rows}
+    benchmarks = {row[0] for row in result.rows}
+    # the PCA-calibrated discriminant beats pessimistic accumulation on
+    # (nearly) every benchmark, and clearly on average (paper: max error
+    # 25.8% -> 8.3%, min 9.1% -> 2.8%)
+    amoeba_errs = [err[(b, "amoeba")] for b in benchmarks]
+    nom_errs = [err[(b, "nom")] for b in benchmarks]
+    assert float(np.mean(amoeba_errs)) < float(np.mean(nom_errs))
+    wins = sum(1 for b in benchmarks if err[(b, "amoeba")] <= err[(b, "nom")] + 0.01)
+    assert wins >= len(benchmarks) - 1

@@ -1,0 +1,13 @@
+"""Fig. 16: QoS violation of the benchmarks with Amoeba-NoP."""
+
+from repro.experiments.figures import FIG_DAY, fig16_nop_violations
+
+
+def test_fig16_nop_violations(regenerate):
+    result = regenerate(fig16_nop_violations, day=FIG_DAY)
+    for name, amoeba_viol, nop_viol in result.rows:
+        # paper: 29.9-69.1% of queries violate QoS without prewarming,
+        # while full Amoeba stays (essentially) violation-free
+        assert amoeba_viol < 0.02, f"{name}: amoeba {amoeba_viol}"
+        assert nop_viol > 0.15, f"{name}: nop only {nop_viol}"
+    assert max(row[2] for row in result.rows) > 0.3

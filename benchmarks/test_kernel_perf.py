@@ -1,0 +1,108 @@
+"""Micro-benchmarks of the hot paths (true pytest-benchmark timing).
+
+These are the performance-regression guards for the substrate itself:
+the event loop, the contention engine's rebalance, the Erlang math and
+the PCA fit are what every experiment's wall time is made of.
+"""
+
+import numpy as np
+
+from repro.cluster.resource_model import (
+    ContentionConfig,
+    DemandVector,
+    MachineModel,
+    SensitivityVector,
+)
+from repro.core.monitor import pcr_fit
+from repro.core.queueing import max_arrival_rate
+from repro.sim.environment import Environment
+
+
+def test_event_loop_throughput(benchmark):
+    """Schedule-and-run of 20k timeout events."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(20000):
+                yield env.timeout(0.001)
+
+        env.process(ticker(env))
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result > 0
+
+
+def test_machine_model_rebalance(benchmark):
+    """Contended execute/finish churn: 2000 overlapping executions.
+
+    Parameters keep the machine busy (~8 concurrent, pressure ≈ 0.5) but
+    stable — the point is rebalance cost, not a saturation spiral.
+    """
+    demand = DemandVector(cpu=1.0, memory_mb=256.0)
+    sens = SensitivityVector(cpu=1.0)
+
+    def run():
+        env = Environment()
+        machine = MachineModel(env, cores=16.0, io_mbps=1000.0, net_mbps=1000.0)
+
+        def feeder(env):
+            for i in range(2000):
+                machine.execute(0.05, demand, sens)
+                yield env.timeout(0.007)
+
+        env.process(feeder(env))
+        env.run()
+        return machine.active_count
+
+    assert benchmark(run) == 0
+
+
+def test_discriminant_evaluation(benchmark):
+    """One controller decision's worth of Eq. 5 bisection."""
+
+    def run():
+        return max_arrival_rate(mu=2.5, n=8, qos=1.5, r=0.95)
+
+    assert benchmark(run) > 0
+
+
+def test_pcr_fit_speed(benchmark):
+    """A PCA recalibration over a full feedback window."""
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, size=(120, 3))
+    y = X @ np.array([0.7, 0.2, 0.1]) + rng.normal(0, 0.01, 120)
+
+    def run():
+        return pcr_fit(X, y)
+
+    w, _bias = benchmark(run)
+    assert w.shape == (3,)
+
+
+def test_full_mixed_platform_minute(benchmark):
+    """One simulated minute of a loaded serverless platform."""
+    from repro.serverless.platform import ServerlessPlatform
+    from repro.sim.rng import RngRegistry
+    from repro.telemetry import ServiceMetrics
+    from repro.workloads.functionbench import benchmark as bench_spec
+    from repro.workloads.loadgen import LoadGenerator
+    from repro.workloads.traces import ConstantTrace
+
+    def run():
+        env = Environment()
+        rng = RngRegistry(seed=1)
+        platform = ServerlessPlatform(env, rng)
+        total = 0
+        for name in ("float", "matmul", "dd"):
+            spec = bench_spec(name)
+            metrics = ServiceMetrics(name, spec.qos_target)
+            platform.register(spec, metrics=metrics)
+            LoadGenerator(env, name, ConstantTrace(8.0), platform.invoke, rng)
+        env.run(until=60.0)
+        return env.now
+
+    assert benchmark(run) == 60.0

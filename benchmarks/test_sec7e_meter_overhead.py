@@ -1,0 +1,13 @@
+"""§VII-E: overhead of the contention meters."""
+
+from repro.experiments.figures import FIG_DAY, sec7e_meter_overhead
+
+
+def test_sec7e_meter_overhead(regenerate):
+    result = regenerate(sec7e_meter_overhead, day=FIG_DAY)
+    rows = {row[0]: row[1] for row in result.rows}
+    # paper: per-meter overheads ~1.1%/0.5%/0.6%; total bounded by ~1%
+    assert 0.0 < rows["total"] < 0.02
+    # the CPU meter is the most expensive one, as in the paper
+    assert rows["meter_cpu"] >= rows["meter_io"]
+    assert rows["meter_cpu"] >= rows["meter_net"]

@@ -1,0 +1,15 @@
+"""Tables II and III as configuration assertions."""
+
+from repro.experiments.figures import table2_setup, table3_benchmarks
+
+
+def test_table2_setup(regenerate):
+    result = regenerate(table2_setup)
+    values = dict((row[0], row[1]) for row in result.rows)
+    assert values["cores per node"] == 40
+    assert values["container memory (MB)"] == 256.0
+
+
+def test_table3_benchmarks(regenerate):
+    result = regenerate(table3_benchmarks)
+    assert len(result.rows) == 5

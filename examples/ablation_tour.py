@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Ablation tour: what each Amoeba component buys (paper §VII-C/D).
+
+Runs the same diurnal scenario under full Amoeba, Amoeba-NoM (no PCA
+weight calibration) and Amoeba-NoP (no container prewarming) and prints
+the trade-offs each ablation exposes.
+
+Run:  python examples/ablation_tour.py [benchmark]
+"""
+
+import sys
+
+from repro.experiments import default_scenario, run_amoeba, run_nameko
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "float"
+    scenario = default_scenario(name, day=3600.0, seed=0)
+    nameko = run_nameko(scenario)
+    nameko_usage = nameko.foreground(scenario).usage
+
+    print(f"scenario: {name!r}, one compressed day, background + ambient tenants\n")
+    print(f"{'variant':<12} {'violations':>11} {'cpu vs nameko':>14} "
+          f"{'mem vs nameko':>14} {'switches':>9}")
+    for variant in ("full", "nom", "nop"):
+        run = run_amoeba(scenario, variant=variant)
+        fg = run.foreground(scenario)
+        cpu, mem = fg.usage.normalized_to(nameko_usage)
+        label = {"full": "amoeba", "nom": "amoeba-NoM", "nop": "amoeba-NoP"}[variant]
+        print(f"{label:<12} {fg.metrics.violation_fraction:>10.2%} {cpu:>13.2%} "
+              f"{mem:>13.2%} {len(fg.switch_events):>9}")
+
+    print("""
+reading the table:
+ * amoeba      — meets QoS and saves the most resources.
+ * amoeba-NoM  — still safe, but the pessimistic 'degradations accumulate'
+                 assumption (weights fixed at 1) under-estimates the
+                 serverless capacity, switches in late, and burns more
+                 IaaS time (Fig. 14).
+ * amoeba-NoP  — without the prewarm module every serverless query pays a
+                 cold start; resource usage looks fine but a large share
+                 of queries blow their QoS target (Fig. 16).
+""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""A full multi-tenant evaluation day: Amoeba vs. Nameko vs. OpenWhisk.
+
+Reproduces the paper's §VII setup for one benchmark: the foreground
+service with a diurnal load, the three low-peak background services
+(``bg_float``/``bg_dd``/``bg_cloud_stor``) and time-varying ambient
+tenant pressure on the shared serverless node.  Prints the Fig. 10/11
+quantities for the three systems.
+
+Run:  python examples/multi_tenant_day.py [benchmark]
+"""
+
+import sys
+
+from repro.experiments import default_scenario, run_amoeba, run_nameko, run_openwhisk
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "dd"
+    scenario = default_scenario(name, day=2400.0, seed=1)
+    print(f"scenario: foreground {name!r} (peak {scenario.trace.peak_rate:.0f} qps, "
+          f"serverless container cap {scenario.limit}), "
+          f"{len(scenario.background)} background services, ambient tenants on\n")
+
+    runs = {
+        "amoeba": run_amoeba(scenario),
+        "nameko": run_nameko(scenario),
+        "openwhisk": run_openwhisk(scenario),
+    }
+    qos = scenario.foreground.qos_target
+    nameko_usage = runs["nameko"].foreground(scenario).usage
+
+    print(f"{'system':<10} {'p95/QoS':>8} {'violations':>11} {'cores':>7} {'mem MB':>8} "
+          f"{'cpu vs nameko':>14}")
+    for system, run in runs.items():
+        fg = run.foreground(scenario)
+        p95 = fg.metrics.exact_percentile(95) / qos
+        cpu_ratio, _ = fg.usage.normalized_to(nameko_usage)
+        print(f"{system:<10} {p95:>8.3f} {fg.metrics.violation_fraction:>10.2%} "
+              f"{fg.usage.mean_cores:>7.2f} {fg.usage.mean_memory_mb:>8.0f} "
+              f"{cpu_ratio:>13.2%}")
+
+    fg = runs["amoeba"].foreground(scenario)
+    print("\nAmoeba's switches (time, target, load):")
+    for t, mode, load in fg.switch_events:
+        print(f"  t={t:7.1f}s  -> {mode:<10}  at {load:5.1f} qps")
+
+    print("\nbackground services under Amoeba (the co-tenant guard protects them):")
+    for bg_spec, _trace, _limit in scenario.background:
+        bg = runs["amoeba"].services[bg_spec.name]
+        print(f"  {bg_spec.name:<14} p95/QoS {bg.metrics.exact_percentile(95) / bg_spec.qos_target:6.3f} "
+              f"violations {bg.metrics.violation_fraction:.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Hardware substrate: node specs, contention model, usage accounting.
+
+This package simulates the paper's 3-node testbed (Table II).  The piece
+everything else leans on is :class:`~repro.cluster.resource_model.MachineModel`,
+a progress-based multi-resource contention engine: executions carry a
+demand vector over (CPU cores, memory bandwidth, disk IO bandwidth,
+network bandwidth) plus a sensitivity vector, and their remaining work is
+stretched whenever the set of co-running executions changes.
+"""
+
+from repro.cluster.accounting import UsageLedger, UsageSample
+from repro.cluster.resource_model import (
+    ContentionConfig,
+    DemandVector,
+    MachineModel,
+    SensitivityVector,
+)
+from repro.cluster.spec import CLUSTER_TABLE_II, NodeSpec
+
+__all__ = [
+    "CLUSTER_TABLE_II",
+    "ContentionConfig",
+    "DemandVector",
+    "MachineModel",
+    "NodeSpec",
+    "SensitivityVector",
+    "UsageLedger",
+    "UsageSample",
+]

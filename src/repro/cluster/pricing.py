@@ -1,0 +1,88 @@
+"""Maintainer-side dollar cost of a deployment (library extension).
+
+The paper's §I motivation is cost: "maintainers pay for each function
+invocation instead of the whole infrastructure", and Amoeba exists so the
+maintainer stops paying for an idle peak-sized rental overnight.  The
+evaluation reports vendor-side resource usage; this module adds the
+matching maintainer-side bill so the Fig. 11 savings can also be read in
+dollars.
+
+Pricing shape follows the public clouds:
+
+* **IaaS** — rented cores and memory are billed for the whole uptime,
+  busy or not (per core-hour and GB-hour).
+* **Serverless** — billed per invocation plus GB-seconds of container
+  memory held while *serving* (the vendor eats warm-idle time; defaults
+  approximate AWS Lambda's list prices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.accounting import UsageSample
+
+__all__ = ["CostBreakdown", "PricingModel"]
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Unit prices, in dollars."""
+
+    #: IaaS: per rented core-hour (on-demand general-purpose ballpark)
+    iaas_core_hour: float = 0.048
+    #: IaaS: per rented GB-hour of memory
+    iaas_gb_hour: float = 0.0065
+    #: serverless: per GB-second of container memory during execution
+    serverless_gb_second: float = 1.6667e-5
+    #: serverless: per million invocations
+    serverless_per_million: float = 0.20
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "iaas_core_hour",
+            "iaas_gb_hour",
+            "serverless_gb_second",
+            "serverless_per_million",
+        ):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be >= 0")
+
+    # -- per-side costs ----------------------------------------------------
+    def iaas_cost(self, usage: UsageSample) -> float:
+        """Bill for a rental's integrated occupation."""
+        core_hours = usage.cpu_core_seconds / 3600.0
+        gb_hours = usage.memory_mb_seconds / 1024.0 / 3600.0
+        return core_hours * self.iaas_core_hour + gb_hours * self.iaas_gb_hour
+
+    def serverless_cost(
+        self, invocations: int, mean_duration_s: float, container_memory_mb: float
+    ) -> float:
+        """Bill for function invocations (requests + GB-seconds)."""
+        if invocations < 0 or mean_duration_s < 0 or container_memory_mb <= 0:
+            raise ValueError("invocations/duration must be >= 0, memory positive")
+        gb_seconds = invocations * mean_duration_s * container_memory_mb / 1024.0
+        return (
+            gb_seconds * self.serverless_gb_second
+            + invocations / 1e6 * self.serverless_per_million
+        )
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """One service's bill under one deployment."""
+
+    system: str
+    iaas_dollars: float
+    serverless_dollars: float
+
+    @property
+    def total(self) -> float:
+        """The full bill."""
+        return self.iaas_dollars + self.serverless_dollars
+
+    def normalized_to(self, baseline: "CostBreakdown") -> float:
+        """This bill as a fraction of ``baseline``'s."""
+        if baseline.total <= 0:
+            raise ValueError("baseline cost must be positive")
+        return self.total / baseline.total

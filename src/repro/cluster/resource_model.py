@@ -1,0 +1,346 @@
+"""Progress-based multi-resource contention engine.
+
+This module is the simulated stand-in for the shared hardware of the
+paper's serverless node (DESIGN.md §2): co-running containers contend for
+① cores, ② memory (bandwidth; *space* is enforced separately by the
+container pool), ③ disk IO bandwidth and ④ network bandwidth (paper
+Fig. 5).  The model has three properties the paper's analysis depends on:
+
+1.  **Pressure is additive, slowdown is convex.**  Per-resource pressure
+    is total demand divided by capacity; an execution's slowdown grows
+    slowly below saturation and quadratically above it, so tail latency
+    explodes once a resource saturates — the behaviour that makes the
+    switch-out decision matter.
+2.  **Per-resource degradations are not independent** (paper §II-E): a
+    pairwise coupling term makes simultaneous pressure on two resources
+    worse than the sum of each alone.  This is exactly the effect the
+    PCA-corrected weight calibration (Amoeba) models and the pessimistic
+    additive variant (Amoeba-NoM) over-estimates.
+3.  **Executions are progress-based.**  Each execution carries its
+    remaining *work* (seconds of uncontended execution).  When the active
+    set changes, every execution's accumulated progress is banked and its
+    completion event rescheduled at the new rate, so latencies respond to
+    contention that arrives *mid-execution*.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+from repro.sim.stats import TimeWeightedStats
+
+__all__ = ["ContentionConfig", "DemandVector", "MachineModel", "SensitivityVector"]
+
+#: resource axes, in fixed order (memory *space* handled by the pool)
+RESOURCES = ("cpu", "io", "net")
+
+
+@dataclass(frozen=True)
+class DemandVector:
+    """Resources one execution occupies while running.
+
+    ``cpu`` is in cores, ``memory_mb`` in MB (space, informational here),
+    ``io_mbps`` and ``net_mbps`` in MB/s of disk and network bandwidth.
+    """
+
+    cpu: float = 0.0
+    memory_mb: float = 0.0
+    io_mbps: float = 0.0
+    net_mbps: float = 0.0
+
+    def __post_init__(self) -> None:
+        for attr in ("cpu", "memory_mb", "io_mbps", "net_mbps"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be >= 0, got {getattr(self, attr)}")
+
+    def scaled(self, factor: float) -> "DemandVector":
+        """This demand multiplied by ``factor`` (load scaling helper)."""
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        return DemandVector(
+            cpu=self.cpu * factor,
+            memory_mb=self.memory_mb * factor,
+            io_mbps=self.io_mbps * factor,
+            net_mbps=self.net_mbps * factor,
+        )
+
+
+@dataclass(frozen=True)
+class SensitivityVector:
+    """How strongly an execution's progress suffers per unit pressure.
+
+    Axes follow the paper's three contention meters: ``cpu`` covers the
+    combined CPU/memory-bandwidth axis (the paper's ``l_CPU_Memory``),
+    ``io`` disk bandwidth, ``net`` network bandwidth.  Values are
+    dimensionless multipliers; 0 = immune, 1 = fully exposed.
+    """
+
+    cpu: float = 1.0
+    io: float = 0.0
+    net: float = 0.0
+
+    def __post_init__(self) -> None:
+        for attr in RESOURCES:
+            v = getattr(self, attr)
+            if not 0.0 <= v <= 5.0:
+                raise ValueError(f"sensitivity {attr} out of range [0, 5]: {v}")
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        """(cpu, io, net) in canonical axis order."""
+        return (self.cpu, self.io, self.net)
+
+
+@dataclass(frozen=True)
+class ContentionConfig:
+    """Shape parameters of the slowdown function.
+
+    Per-axis degradation is convex in pressure:
+
+        ``d_r = s_r·g(p_r)``  with  ``g(p) = linear·p + quad·max(0, p − knee)²``
+
+    (the linear term models sub-saturation interference — cache/SMT/port
+    sharing; the quadratic term models queueing for a saturated
+    resource).  The total slowdown *overlaps* the per-axis degradations
+    instead of summing them:
+
+        ``slowdown = 1 + max_r d_r + (1 − overlap)·(Σ_r d_r − max_r d_r)``
+
+    ``overlap = 0`` would be plain accumulation; ``overlap = 1`` would be
+    full hiding behind the worst axis.  This sub-additivity is the
+    paper's §II-E observation — "the performance degradation … is not
+    the simple accumulation of its degradations due to the contention on
+    each type of resource" — and it is exactly what the PCA-calibrated
+    weights learn (and what the Amoeba-NoM ablation, which *does*
+    accumulate, gets pessimistically wrong; §VII-C).
+    """
+
+    linear: float = 0.18
+    quad: float = 6.0
+    knee: float = 0.75
+    #: fraction of the non-dominant axes' degradation hidden behind the
+    #: dominant one (stalls on different resources partially overlap)
+    overlap: float = 0.60
+    #: pressure ceiling: beyond this the resource is hard-saturated and
+    #: g(p) is evaluated at the ceiling (progress never reaches zero)
+    pressure_cap: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.linear < 0 or self.quad < 0:
+            raise ValueError("slowdown coefficients must be >= 0")
+        if not 0.0 <= self.overlap <= 1.0:
+            raise ValueError(f"overlap must be in [0, 1], got {self.overlap}")
+        if not 0.0 < self.knee <= 1.5:
+            raise ValueError(f"knee must be in (0, 1.5], got {self.knee}")
+        if self.pressure_cap <= self.knee:
+            raise ValueError("pressure_cap must exceed knee")
+
+    def g(self, pressure: float) -> float:
+        """Per-resource degradation as a function of pressure."""
+        p = min(pressure, self.pressure_cap)
+        excess = p - self.knee
+        return self.linear * p + (self.quad * excess * excess if excess > 0 else 0.0)
+
+    def slowdown(self, sens: SensitivityVector, pressures: tuple[float, float, float]) -> float:
+        """Total slowdown of an execution with ``sens`` under ``pressures``."""
+        s = sens.as_tuple()
+        d0 = s[0] * self.g(pressures[0])
+        d1 = s[1] * self.g(pressures[1])
+        d2 = s[2] * self.g(pressures[2])
+        total = d0 + d1 + d2
+        worst = max(d0, d1, d2)
+        return 1.0 + worst + (1.0 - self.overlap) * (total - worst)
+
+
+class _Execution:
+    """Bookkeeping for one in-flight execution on a machine."""
+
+    __slots__ = ("eid", "demand", "sens", "work_left", "rate", "last_update", "done", "generation", "start")
+
+    def __init__(self, eid: int, demand: DemandVector, sens: SensitivityVector, work: float, done: Event):
+        self.eid = eid
+        self.demand = demand
+        self.sens = sens
+        self.work_left = work
+        self.rate = 1.0
+        self.last_update = 0.0
+        self.done = done
+        #: bumped on every reschedule; stale completion callbacks no-op
+        self.generation = 0
+
+
+class MachineModel:
+    """One node's shared-resource execution engine.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    cores, io_mbps, net_mbps:
+        Node capacities (memory space is enforced by the container pool,
+        not here).
+    config:
+        Slowdown shape parameters.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cores: float,
+        io_mbps: float,
+        net_mbps: float,
+        config: Optional[ContentionConfig] = None,
+    ):
+        if cores <= 0 or io_mbps <= 0 or net_mbps <= 0:
+            raise ValueError("capacities must be positive")
+        self.env = env
+        self.capacity = (float(cores), float(io_mbps), float(net_mbps))
+        self.config = config if config is not None else ContentionConfig()
+        self._active: Dict[int, _Execution] = {}
+        self._ids = itertools.count()
+        self._demand_totals = [0.0, 0.0, 0.0]
+        self._memory_in_use = 0.0
+        # accounting taps
+        self.cpu_in_use = TimeWeightedStats(env.now)
+        self.io_in_use = TimeWeightedStats(env.now)
+        self.net_in_use = TimeWeightedStats(env.now)
+        self.memory_stat = TimeWeightedStats(env.now)
+        #: optional hook called after every active-set change with (t, pressures)
+        self.on_pressure_change: Optional[Callable[[float, tuple[float, float, float]], None]] = None
+
+    # -- observability -----------------------------------------------------
+    @property
+    def active_count(self) -> int:
+        """Number of in-flight executions."""
+        return len(self._active)
+
+    @property
+    def memory_in_use_mb(self) -> float:
+        """Total memory space claimed by in-flight executions."""
+        return self._memory_in_use
+
+    def pressures(self) -> tuple[float, float, float]:
+        """(cpu, io, net) pressure = total demand / capacity."""
+        d, c = self._demand_totals, self.capacity
+        return (d[0] / c[0], d[1] / c[1], d[2] / c[2])
+
+    def slowdown_for(self, sens: SensitivityVector) -> float:
+        """Slowdown a hypothetical execution with ``sens`` would see now."""
+        return self.config.slowdown(sens, self.pressures())
+
+    # -- execution ----------------------------------------------------------
+    def execute(self, work: float, demand: DemandVector, sens: SensitivityVector) -> Event:
+        """Run ``work`` seconds of uncontended execution; returns completion event.
+
+        The completion event's value is the actual (stretched) duration.
+        """
+        if work <= 0:
+            raise ValueError(f"work must be positive, got {work}")
+        now = self.env.now
+        self._bank_progress(now)
+        done = self.env.event()
+        ex = _Execution(next(self._ids), demand, sens, work, done)
+        ex.last_update = now
+        self._active[ex.eid] = ex
+        self._demand_totals[0] += demand.cpu
+        self._demand_totals[1] += demand.io_mbps
+        self._demand_totals[2] += demand.net_mbps
+        self._memory_in_use += demand.memory_mb
+        ex.start = now
+        self._rebalance(now)
+        return done
+
+    def _bank_progress(self, now: float) -> None:
+        """Credit each active execution's progress up to ``now``."""
+        for ex in self._active.values():
+            elapsed = now - ex.last_update
+            if elapsed > 0:
+                ex.work_left -= elapsed * ex.rate
+                if ex.work_left < 0:
+                    ex.work_left = 0.0
+            ex.last_update = now
+
+    def _rebalance(self, now: float) -> None:
+        """Recompute rates and reschedule completions after a set change."""
+        # clamp accumulated float residue so an empty machine reads
+        # exactly zero pressure (additions and removals of the same
+        # demands do not cancel bitwise when interleaved)
+        for i in range(3):
+            if abs(self._demand_totals[i]) < 1e-9:
+                self._demand_totals[i] = 0.0
+        if abs(self._memory_in_use) < 1e-9:
+            self._memory_in_use = 0.0
+        pressures = self.pressures()
+        cfg = self.config
+        for ex in self._active.values():
+            ex.rate = 1.0 / cfg.slowdown(ex.sens, pressures)
+            ex.generation += 1
+            finish_in = ex.work_left / ex.rate if ex.rate > 0 else math.inf
+            gen = ex.generation
+            self.env.schedule_callback(finish_in, lambda ex=ex, gen=gen: self._maybe_finish(ex, gen))
+        # accounting
+        self.cpu_in_use.set(now, self._demand_totals[0])
+        self.io_in_use.set(now, self._demand_totals[1])
+        self.net_in_use.set(now, self._demand_totals[2])
+        self.memory_stat.set(now, self._memory_in_use)
+        if self.on_pressure_change is not None:
+            self.on_pressure_change(now, pressures)
+
+    def _maybe_finish(self, ex: _Execution, generation: int) -> None:
+        if ex.generation != generation or ex.eid not in self._active:
+            return  # rescheduled since; this callback is stale
+        now = self.env.now
+        # bank this execution's own progress precisely
+        ex.work_left -= (now - ex.last_update) * ex.rate
+        ex.last_update = now
+        if ex.work_left > 1e-12:  # numeric guard: not actually done yet
+            ex.generation += 1
+            gen = ex.generation
+            self.env.schedule_callback(
+                ex.work_left / ex.rate, lambda ex=ex, gen=gen: self._maybe_finish(ex, gen)
+            )
+            return
+        self._bank_progress(now)
+        del self._active[ex.eid]
+        d = ex.demand
+        self._demand_totals[0] -= d.cpu
+        self._demand_totals[1] -= d.io_mbps
+        self._demand_totals[2] -= d.net_mbps
+        self._memory_in_use -= d.memory_mb
+        self._rebalance(now)
+        ex.done.succeed(now - ex.start)
+
+    # -- background pressure -------------------------------------------------
+    def inject_background(self, demand: DemandVector) -> Callable[[], None]:
+        """Add a standing demand (e.g. an unmodelled co-tenant); returns remover.
+
+        Background demand contributes to pressure but has no work to
+        complete; used by tests and by synthetic co-tenant scenarios.
+        """
+        now = self.env.now
+        self._bank_progress(now)
+        self._demand_totals[0] += demand.cpu
+        self._demand_totals[1] += demand.io_mbps
+        self._demand_totals[2] += demand.net_mbps
+        self._memory_in_use += demand.memory_mb
+        self._rebalance(now)
+        removed = False
+
+        def remove() -> None:
+            nonlocal removed
+            if removed:
+                raise RuntimeError("background demand already removed")
+            removed = True
+            t = self.env.now
+            self._bank_progress(t)
+            self._demand_totals[0] -= demand.cpu
+            self._demand_totals[1] -= demand.io_mbps
+            self._demand_totals[2] -= demand.net_mbps
+            self._memory_in_use -= demand.memory_mb
+            self._rebalance(t)
+
+        return remove

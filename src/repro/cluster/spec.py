@@ -1,0 +1,67 @@
+"""Node and cluster specifications (paper Table II).
+
+The paper's testbed is three identical nodes:
+
+* CPU: Intel Xeon Platinum 8163 @ 2.50 GHz, 40 cores, 32 MB shared L3
+* DRAM: 256 GB; Disk: NVMe SSD; NIC: 25,000 Mb/s, 25 GbE switch
+* Serverless containers: 256 MB memory each
+* IaaS side: Nameko in VMs; serverless side: OpenWhisk
+
+We encode those numbers as defaults.  Disk bandwidth is not listed in the
+paper; we use 2,000 MB/s, a typical figure for a 2019 datacenter NVMe SSD
+(documented substitution, see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CLUSTER_TABLE_II", "ClusterSpec", "NodeSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Capacities of one physical node."""
+
+    name: str = "node"
+    cores: int = 40
+    memory_mb: float = 256 * 1024.0
+    #: disk bandwidth in MB/s (NVMe SSD; not listed in Table II, see module docstring)
+    disk_mbps: float = 2000.0
+    #: network bandwidth in MB/s (25,000 Mb/s NIC = 3125 MB/s)
+    net_mbps: float = 3125.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        for attr in ("memory_mb", "disk_mbps", "net_mbps"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive, got {getattr(self, attr)}")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The full testbed: one IaaS node, one serverless node, one driver node."""
+
+    iaas_node: NodeSpec = field(default_factory=lambda: NodeSpec(name="iaas"))
+    serverless_node: NodeSpec = field(default_factory=lambda: NodeSpec(name="serverless"))
+    driver_node: NodeSpec = field(default_factory=lambda: NodeSpec(name="driver"))
+    #: serverless container memory size (Table II: 256 MB)
+    container_memory_mb: float = 256.0
+    #: fabric bandwidth between nodes, MB/s (25 GbE switch)
+    switch_mbps: float = 3125.0
+
+    def __post_init__(self) -> None:
+        if self.container_memory_mb <= 0:
+            raise ValueError("container_memory_mb must be positive")
+        if self.container_memory_mb > self.serverless_node.memory_mb:
+            raise ValueError("container memory exceeds node memory")
+
+    @property
+    def max_containers_by_memory(self) -> int:
+        """Upper bound on concurrent containers from node memory alone."""
+        return int(self.serverless_node.memory_mb // self.container_memory_mb)
+
+
+#: the paper's Table II configuration
+CLUSTER_TABLE_II = ClusterSpec()

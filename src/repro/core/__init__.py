@@ -1,0 +1,65 @@
+"""Amoeba itself: the paper's contribution.
+
+* :mod:`repro.core.queueing` — the M/M/N model (Eqs. 1–5): stationary
+  distribution, waiting-time CDF, r-ile waits, and the discriminant
+  function λ(μ) that decides whether serverless deployment can meet a
+  QoS target.
+* :mod:`repro.core.meters` — the three contention meters and their
+  profiled latency-vs-pressure curves (Fig. 8), plus curve inversion for
+  the measurement step.
+* :mod:`repro.core.surfaces` — per-microservice latency surfaces
+  L(P, V_u) (Fig. 9) with analytic and measured builders.
+* :mod:`repro.core.mu_model` — Eq. 6: the contention-corrected
+  per-container processing capacity μ, and the pessimistic additive
+  variant used by the Amoeba-NoM ablation.
+* :mod:`repro.core.monitor` — the multi-resource contention monitor:
+  meter scheduling, heartbeat ingestion, PCA weight calibration (§VI-A)
+  and the Eq. 8 sample-period rule.
+* :mod:`repro.core.prewarm` — Eq. 7 prewarm sizing.
+* :mod:`repro.core.engine` — the hybrid execution engine (routing and
+  the prewarm→ack→flip→drain switch protocol, §V-B).
+* :mod:`repro.core.controller` — the contention-aware deployment
+  controller (§IV) with the co-tenant QoS guard (§III).
+* :mod:`repro.core.runtime` — the Amoeba facade and its ablation
+  variants (NoM, NoP) plus pure-IaaS / pure-serverless baselines.
+"""
+
+from repro.core.config import AmoebaConfig
+from repro.core.queueing import (
+    discriminant_lambda,
+    erlang_c,
+    erlang_pi0,
+    erlang_pin,
+    max_arrival_rate,
+    min_servers,
+    qos_satisfied,
+    sojourn_quantile,
+    wait_cdf,
+    wait_quantile,
+)
+
+
+def __getattr__(name: str):
+    # lazy: the runtime pulls in the platform packages, which themselves
+    # use repro.core.queueing — a module-level import here would cycle
+    if name == "AmoebaRuntime":
+        from repro.core.runtime import AmoebaRuntime
+
+        return AmoebaRuntime
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "AmoebaConfig",
+    "AmoebaRuntime",
+    "discriminant_lambda",
+    "erlang_c",
+    "erlang_pi0",
+    "erlang_pin",
+    "max_arrival_rate",
+    "min_servers",
+    "qos_satisfied",
+    "sojourn_quantile",
+    "wait_cdf",
+    "wait_quantile",
+]

@@ -1,0 +1,100 @@
+"""Amoeba runtime configuration.
+
+One dataclass gathers every knob of the paper's three components; the
+ablation variants of §VII are just flag flips (``use_pca=False`` →
+Amoeba-NoM, ``prewarm=False`` → Amoeba-NoP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["AmoebaConfig"]
+
+
+@dataclass(frozen=True)
+class AmoebaConfig:
+    """Knobs of the Amoeba runtime."""
+
+    #: the QoS percentile (paper: 95%-ile latency)
+    r_ile: float = 0.95
+    #: allowed error scope ``e`` in the Eq. 8 sample-period rule
+    allowed_error: float = 0.10
+    #: floor for the controller's decision period, seconds (Eq. 8 can
+    #: give near-zero periods for slack QoS targets)
+    min_sample_period: float = 15.0
+    #: ceiling for the decision period, seconds
+    max_sample_period: float = 120.0
+    #: hysteresis: switch IaaS→serverless only when λ < in_margin·λ(μ)
+    switch_in_margin: float = 0.70
+    #: hysteresis: switch serverless→IaaS when λ > out_margin·λ(μ)
+    switch_out_margin: float = 0.90
+    #: minimum time between deploy-mode switches of one service, seconds
+    min_dwell: float = 180.0
+    #: fraction of IaaS-mode queries shadowed to the serverless platform
+    #: (§III step 1: Amoeba "also routes queries of S_a to the serverless
+    #: platform" to collect consumption/latency feedback)
+    canary_fraction: float = 0.02
+    #: per-meter invocation rate on the serverless platform (§VII-E: 1 QPS)
+    meter_qps: float = 1.0
+    #: window of recent meter latencies used for pressure inversion
+    meter_window: int = 30
+    #: PCA recalibration: minimum heartbeat rows before the first fit and
+    #: the sliding window length
+    pca_min_rows: int = 12
+    pca_window: int = 120
+    #: fraction of variance the kept principal components must cover
+    pca_variance_coverage: float = 0.90
+    #: admissible-load rule: "mmn" = the paper's Eq. 5 discriminant;
+    #: "mdn" = Allen–Cunneen-corrected wait for near-deterministic
+    #: service (library extension, see queueing.wait_quantile_gg);
+    #: "utilization" = a naive λ ≤ ρ_max·n·μ rule (ablation bench)
+    discriminant: str = "mmn"
+    #: the ρ_max of the naive utilization rule
+    naive_rho_max: float = 0.70
+    #: enable the PCA weight calibration (False = Amoeba-NoM)
+    use_pca: bool = True
+    #: enable container prewarming before a switch (False = Amoeba-NoP)
+    prewarm: bool = True
+    #: extra containers prewarmed beyond the Eq. 7 count (burst headroom)
+    prewarm_headroom: int = 1
+    #: pressure grid used when building analytic latency surfaces
+    surface_pressure_max: float = 1.6
+    surface_pressure_points: int = 9
+    surface_load_points: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.r_ile < 1.0:
+            raise ValueError(f"r_ile must be in (0, 1), got {self.r_ile}")
+        if not 0.0 <= self.allowed_error < 1.0:
+            raise ValueError(f"allowed_error must be in [0, 1), got {self.allowed_error}")
+        if not 0.0 < self.switch_in_margin < self.switch_out_margin <= 1.0:
+            raise ValueError("need 0 < switch_in_margin < switch_out_margin <= 1")
+        if self.min_sample_period <= 0 or self.max_sample_period < self.min_sample_period:
+            raise ValueError("sample-period bounds are inconsistent")
+        if not 0.0 <= self.canary_fraction <= 0.5:
+            raise ValueError(f"canary_fraction must be in [0, 0.5], got {self.canary_fraction}")
+        if self.meter_qps <= 0 or self.meter_window < 1:
+            raise ValueError("meter settings must be positive")
+        if self.pca_min_rows < 4 or self.pca_window < self.pca_min_rows:
+            raise ValueError("PCA window settings are inconsistent")
+        if not 0.0 < self.pca_variance_coverage <= 1.0:
+            raise ValueError("pca_variance_coverage must be in (0, 1]")
+        if self.min_dwell < 0 or self.prewarm_headroom < 0:
+            raise ValueError("min_dwell and prewarm_headroom must be >= 0")
+        if self.surface_pressure_points < 2 or self.surface_load_points < 2:
+            raise ValueError("surface grids need at least 2 points per axis")
+        if self.surface_pressure_max <= 0:
+            raise ValueError("surface_pressure_max must be positive")
+        if self.discriminant not in ("mmn", "mdn", "utilization"):
+            raise ValueError(f"unknown discriminant {self.discriminant!r}")
+        if not 0.0 < self.naive_rho_max < 1.0:
+            raise ValueError(f"naive_rho_max must be in (0, 1), got {self.naive_rho_max}")
+
+    def variant_nom(self) -> "AmoebaConfig":
+        """Amoeba-NoM: PCA correction disabled (§VII-C)."""
+        return replace(self, use_pca=False)
+
+    def variant_nop(self) -> "AmoebaConfig":
+        """Amoeba-NoP: container prewarming disabled (§VII-D)."""
+        return replace(self, prewarm=False)

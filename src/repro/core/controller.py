@@ -1,0 +1,207 @@
+"""The contention-aware deployment controller (paper §IV).
+
+Every sample period T (Eq. 8) the controller, for its microservice:
+
+1. reads the current load λ (trailing-window arrival rate),
+2. feeds the monitor the latest serverless-path latency observation
+   (canaries while on IaaS, real queries while on serverless),
+3. computes μ from Eq. 6 using the monitor's pressure vector, the
+   service's latency surfaces and the calibrated weights,
+4. evaluates the discriminant: the largest admissible arrival rate
+   λ(μ) for the available container budget n_max (Eq. 5),
+5. decides: switch to serverless when λ < in_margin·λ(μ) *and* the
+   co-tenant guard approves (§III: a switch-in must not push any
+   current serverless tenant over its QoS); switch back to IaaS when
+   λ > out_margin·λ(μ).
+
+Every evaluation is logged — the Fig. 12 timeline and the Fig. 15
+discriminant-error analysis read the log.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import AmoebaConfig
+from repro.core.engine import DeployMode, HybridExecutionEngine
+from repro.core.monitor import ContentionMonitor, sample_period
+from repro.core.mu_model import MuEstimate, mu_value
+from repro.core.queueing import max_arrival_rate, max_arrival_rate_gg
+from repro.sim.environment import Environment
+from repro.workloads.functionbench import MicroserviceSpec
+
+__all__ = ["ControllerDecision", "DeploymentController"]
+
+
+@dataclass(frozen=True)
+class ControllerDecision:
+    """One controller evaluation (a Fig. 12 / Fig. 15 log record)."""
+
+    time: float
+    load: float
+    mu: float
+    lambda_max: float
+    mode: DeployMode
+    switched: bool
+    #: the mode a successful switch request targeted (None if no switch)
+    switch_target: Optional[DeployMode]
+    guard_blocked: bool
+    weights: Tuple[float, float, float]
+    pressures: Tuple[float, float, float]
+
+
+class DeploymentController:
+    """Periodic deploy-mode decisions for one microservice."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: MicroserviceSpec,
+        engine: HybridExecutionEngine,
+        monitor: ContentionMonitor,
+        config: AmoebaConfig,
+        guard: Optional[Callable[[float, float], bool]] = None,
+    ):
+        """``guard(load, service_time)`` is the co-tenant QoS check: it
+        receives this service's load and predicted serverless service
+        time and returns True when switching in will not break any
+        existing tenant.  ``None`` disables the guard (ablation)."""
+        self.env = env
+        self.spec = spec
+        self.engine = engine
+        self.monitor = monitor
+        self.config = config
+        self.guard = guard
+        self.decisions: List[ControllerDecision] = []
+        # Eq. 8: the sample period must absorb one accidental cold start
+        platform_cfg = engine.serverless.config
+        t_min = sample_period(
+            cold_start=platform_cfg.cold_start_median,
+            qos_target=spec.qos_target,
+            exec_time=spec.exec_time,
+            allowed_error=config.allowed_error,
+        )
+        self.period = float(
+            np.clip(t_min, config.min_sample_period, config.max_sample_period)
+        )
+        self._proc = env.process(self._run())
+
+    # -- the decision loop ----------------------------------------------------
+    def _run(self):
+        cfg = self.config
+        spec = self.spec
+        name = spec.name
+        while True:
+            yield self.env.timeout(self.period)
+            now = self.env.now
+            metrics = self.engine.metrics
+            load = metrics.load.rate(now)
+
+            # feedback to the monitor: latest serverless-path observation
+            observed = self._serverless_observation()
+            if observed is not None and observed > 0:
+                self.monitor.add_feedback(name, load, observed)
+
+            est = self._estimate_mu(load)
+            n_avail = self.engine.serverless.n_max(name)
+            if n_avail < 1:
+                lam_max = 0.0
+            elif cfg.discriminant == "mmn":
+                lam_max = max_arrival_rate(est.mu, n_avail, spec.qos_target, cfg.r_ile)
+            elif cfg.discriminant == "mdn":
+                # extension: correct the M/M/N wait for near-deterministic
+                # service via Allen–Cunneen (C_s² from the exec jitter)
+                lam_max = max_arrival_rate_gg(
+                    est.mu,
+                    n_avail,
+                    spec.qos_target,
+                    cfg.r_ile,
+                    ca2=1.0,
+                    cs2=math.expm1(spec.exec_sigma**2),
+                )
+            else:  # naive utilization rule (ablation)
+                lam_max = cfg.naive_rho_max * n_avail * est.mu
+
+            switched = False
+            switch_target: Optional[DeployMode] = None
+            guard_blocked = False
+            mode = self.engine.mode
+            if mode is DeployMode.SERVERLESS and load > cfg.switch_out_margin * lam_max:
+                switched = self.engine.request_switch(DeployMode.IAAS, load)
+                if switched:
+                    switch_target = DeployMode.IAAS
+            elif mode is DeployMode.IAAS and load < cfg.switch_in_margin * lam_max:
+                service_time = est.predicted_latency - est.alpha
+                if self.guard is not None and not self.guard(load, service_time):
+                    guard_blocked = True
+                else:
+                    switched = self.engine.request_switch(DeployMode.SERVERLESS, load)
+                    if switched:
+                        switch_target = DeployMode.SERVERLESS
+
+            self.decisions.append(
+                ControllerDecision(
+                    time=now,
+                    load=load,
+                    mu=est.mu,
+                    lambda_max=lam_max,
+                    mode=self.engine.mode,
+                    switched=switched,
+                    switch_target=switch_target,
+                    guard_blocked=guard_blocked,
+                    weights=est.weights,
+                    pressures=self.monitor.pressure(),
+                )
+            )
+
+    def _serverless_observation(self) -> Optional[float]:
+        """Most recent serverless-path latency sample for feedback."""
+        metrics = self.engine.metrics
+        if self.engine.mode is DeployMode.SERVERLESS:
+            if not metrics.recent:
+                return None
+            recent = list(metrics.recent)[-32:]
+            return float(np.mean(recent))
+        lat = metrics.mean_canary_latency()
+        return None if math.isnan(lat) else lat
+
+    def _estimate_mu(self, load: float) -> MuEstimate:
+        """Eq. 6 with the monitor's current pressure and weights."""
+        name = self.spec.name
+        surfaces = self.monitor.surfaces(name)
+        pressures = self.monitor.pressure()
+        weights, bias = self.monitor.weights(name)
+        axis_lat = surfaces.axis_latencies(pressures, load)
+        return mu_value(
+            service=name,
+            solo_latency=surfaces.solo_latency,
+            axis_latencies=axis_lat,
+            weights=weights,
+            alpha=surfaces.alpha,
+            bias=bias,
+        )
+
+    # -- analysis helpers ---------------------------------------------------------
+    def lambda_max_series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, λ(μ)) over the run — Fig. 15's predicted switch points."""
+        if not self.decisions:
+            return np.empty(0), np.empty(0)
+        t = np.array([d.time for d in self.decisions])
+        lm = np.array([d.lambda_max for d in self.decisions])
+        return t, lm
+
+    def switch_loads(self) -> List[Tuple[float, str, float]]:
+        """(time, direction, load) for every accepted switch (Fig. 12 stars)."""
+        return [
+            (
+                d.time,
+                "to_serverless" if d.switch_target is DeployMode.SERVERLESS else "to_iaas",
+                d.load,
+            )
+            for d in self.decisions
+            if d.switched
+        ]

@@ -1,0 +1,177 @@
+"""The hybrid execution engine (paper §V).
+
+Owns one microservice's two deployments and the route between them:
+
+* **Routing** — queries go to whichever platform is active; while on
+  IaaS, a small fraction is *shadowed* to the serverless platform as
+  canaries (§III step 1) so the monitor keeps receiving serverless-path
+  latency feedback.
+* **Switch protocol** (§V-B) — on a switch-in, the engine first sends
+  the prewarm signal (Eq. 7 sizing), waits for the platform's
+  acknowledgement that the containers are warm, *then* flips the route,
+  and finally lets the IaaS side drain and release ("the IaaS platform
+  releases the resources after all its allocated queries completed").
+  On a switch-out it boots the VMs first, keeps routing to serverless
+  until they are ready, then flips; the containers idle out under the
+  pool's keep-alive.
+* **Amoeba-NoP** (§VII-D) — with prewarming disabled the route flips
+  immediately and the first wave of queries pays cold starts.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+from repro.core.config import AmoebaConfig
+from repro.core.prewarm import prewarm_count
+from repro.iaas.service import IaaSService, ServiceState
+from repro.serverless.platform import ServerlessPlatform
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+from repro.sim.rng import RngRegistry
+from repro.telemetry import ServiceMetrics
+from repro.workloads.functionbench import MicroserviceSpec
+from repro.workloads.loadgen import Query
+
+__all__ = ["DeployMode", "HybridExecutionEngine"]
+
+
+class DeployMode(enum.Enum):
+    """Which deployment currently serves new queries."""
+
+    IAAS = "iaas"
+    SERVERLESS = "serverless"
+
+
+class HybridExecutionEngine:
+    """Router + switch protocol for one microservice."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: MicroserviceSpec,
+        iaas_service: IaaSService,
+        serverless: ServerlessPlatform,
+        metrics: ServiceMetrics,
+        config: AmoebaConfig,
+        rng: RngRegistry,
+        initial_mode: DeployMode = DeployMode.IAAS,
+    ):
+        self.env = env
+        self.spec = spec
+        self.iaas = iaas_service
+        self.serverless = serverless
+        self.metrics = metrics
+        self.config = config
+        self.rng = rng
+        self.mode = initial_mode
+        self.switching = False
+        self.last_switch_time = -float("inf")
+        #: (time, mode) — Fig. 12's deploy-mode timeline
+        self.mode_timeline: List[Tuple[float, DeployMode]] = [(env.now, initial_mode)]
+        #: (time, target mode, load at decision) — Fig. 12's star markers
+        self.switch_events: List[Tuple[float, DeployMode, float]] = []
+        self._canary_stream = rng.stream(f"canary/{spec.name}")
+        self._canary_ids = 0
+        self._drain_event: Optional[Event] = None
+
+    # -- routing ----------------------------------------------------------------
+    def route(self, query: Query) -> None:
+        """Send one user query to the active deployment."""
+        if self.mode is DeployMode.SERVERLESS:
+            self.serverless.invoke(query)
+            return
+        self.iaas.invoke(query)
+        # shadow a sample to the serverless platform for feedback
+        if self.config.canary_fraction > 0 and (
+            self._canary_stream.uniform() < self.config.canary_fraction
+        ):
+            self._canary_ids += 1
+            shadow = Query(
+                qid=-self._canary_ids,
+                service=query.service,
+                t_submit=self.env.now,
+                canary=True,
+            )
+            self.serverless.invoke(shadow)
+
+    # -- switching --------------------------------------------------------------
+    def can_switch(self) -> bool:
+        """True when a new switch may be requested (dwell + not mid-switch)."""
+        return (
+            not self.switching
+            and (self.env.now - self.last_switch_time) >= self.config.min_dwell
+        )
+
+    def request_switch(self, target: DeployMode, load: float) -> bool:
+        """Ask for a deploy-mode switch; returns False if refused.
+
+        Refusals: already in ``target``, a switch is in flight, or the
+        minimum dwell since the last switch has not elapsed.
+        """
+        if target is self.mode or not self.can_switch():
+            return False
+        self.switching = True
+        self.switch_events.append((self.env.now, target, load))
+        if target is DeployMode.SERVERLESS:
+            self.env.process(self._switch_to_serverless(load))
+        else:
+            self.env.process(self._switch_to_iaas())
+        return True
+
+    def _flip(self, target: DeployMode) -> None:
+        self.mode = target
+        self.mode_timeline.append((self.env.now, target))
+        self.last_switch_time = self.env.now
+        self.switching = False
+
+    def _switch_to_serverless(self, load: float):
+        if self.config.prewarm:
+            n = prewarm_count(
+                load,
+                self.spec.qos_target,
+                headroom=self.config.prewarm_headroom,
+                n_cap=self.serverless.n_max(self.spec.name),
+            )
+            ack = self.serverless.prewarm(self.spec.name, n)
+            yield ack  # S_pw acknowledged: containers are warm
+        else:
+            yield self.env.timeout(0.0)  # NoP: flip immediately
+        self._flip(DeployMode.SERVERLESS)
+        # release the IaaS rental once its in-flight queries drain (S_sd)
+        if self.iaas.state is ServiceState.RUNNING:
+            self._drain_event = self.iaas.undeploy()
+
+    def _switch_to_iaas(self):
+        # a rapid flip-back can catch the previous rental still draining
+        if self.iaas.state is ServiceState.DRAINING and self._drain_event is not None:
+            yield self._drain_event
+        ready = self.iaas.deploy()
+        yield ready  # VMs booted: safe to flip
+        self._flip(DeployMode.IAAS)
+        # serverless containers idle out via the pool's keep-alive
+
+    # -- observability -------------------------------------------------------------
+    def mode_at(self, t: float) -> DeployMode:
+        """Deploy mode that was active at time ``t`` (for the timelines)."""
+        mode = self.mode_timeline[0][1]
+        for ts, m in self.mode_timeline:
+            if ts > t:
+                break
+            mode = m
+        return mode
+
+    def serverless_time_fraction(self, t_end: float) -> float:
+        """Fraction of [0, t_end] spent in serverless mode."""
+        if t_end <= 0:
+            return 0.0
+        total = 0.0
+        timeline = self.mode_timeline
+        for i, (ts, m) in enumerate(timeline):
+            if ts >= t_end:
+                break
+            nxt = timeline[i + 1][0] if i + 1 < len(timeline) else t_end
+            if m is DeployMode.SERVERLESS:
+                total += min(nxt, t_end) - ts
+        return total / t_end

@@ -1,0 +1,266 @@
+"""Contention meters and their latency-vs-pressure curves (paper §IV-B, Fig. 8).
+
+A *contention meter* is a deliberately tiny function whose latency is a
+clean, monotone function of the pressure on exactly one shared resource:
+the CPU meter is a short arithmetic loop (sensitive only to core /
+memory-bandwidth pressure), the IO meter a small direct-write, the
+network meter a small transfer.  The monitor:
+
+1. **Profiles** each meter offline: latency as a function of injected
+   pressure on its axis (Fig. 8's curves) — :func:`profile_meter`.
+2. **Measures** online: runs the meters at 1 QPS on the production
+   platform and *inverts* the profile to turn an observed meter latency
+   into a pressure estimate — :meth:`MeterProfile.invert`.
+
+Profiles can be built two ways.  The *measured* builder runs a real
+mini-simulation per grid point (a fresh platform with background demand
+injected on the axis) — this is the honest analogue of the paper's
+methodology and is used by the Fig. 8 bench.  The *analytic* builder
+evaluates the same platform constants in closed form; the two agree
+within sampling noise (a test asserts it) and the analytic one is the
+runtime default because it is instant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cluster.resource_model import (
+    ContentionConfig,
+    DemandVector,
+    SensitivityVector,
+)
+from repro.cluster.spec import NodeSpec
+from repro.serverless.config import ServerlessConfig
+from repro.workloads.functionbench import MicroserviceSpec
+
+__all__ = [
+    "METER_SPECS",
+    "MeterProfile",
+    "analytic_meter_latency",
+    "expected_platform_overhead",
+    "meter_axis_index",
+    "profile_meter",
+    "profile_meter_measured",
+]
+
+#: canonical axis order, matching MachineModel.pressures()
+AXES = ("cpu", "io", "net")
+
+
+def _meter(name: str, exec_time: float, demand: DemandVector, sens: SensitivityVector) -> MicroserviceSpec:
+    return MicroserviceSpec(
+        name=name,
+        exec_time=exec_time,
+        # meters are deliberately deterministic kernels: their run-to-run
+        # jitter must be far below the contention signal they measure
+        exec_sigma=0.02,
+        demand=demand,
+        sensitivity=sens,
+        qos_target=5.0,  # meters have no QoS of their own
+        code_mb=5.0,
+        memory_mb=256.0,
+        result_mb=0.01,
+    )
+
+
+#: the three delicately-designed meter functions (paper §IV-B).  The
+#: 100 ms kernels are long enough that contention-induced stretching
+#: dominates front-end jitter (a shorter kernel makes the curve
+#: inversion noise-dominated at low pressure) while still costing ~1% of
+#: a core's time at the 1 QPS measurement rate.
+METER_SPECS: Dict[str, MicroserviceSpec] = {
+    "meter_cpu": _meter(
+        "meter_cpu",
+        exec_time=0.100,
+        demand=DemandVector(cpu=0.5, memory_mb=256.0),
+        sens=SensitivityVector(cpu=1.0, io=0.0, net=0.0),
+    ),
+    "meter_io": _meter(
+        "meter_io",
+        exec_time=0.100,
+        demand=DemandVector(cpu=0.05, memory_mb=256.0, io_mbps=80.0),
+        sens=SensitivityVector(cpu=0.0, io=1.0, net=0.0),
+    ),
+    "meter_net": _meter(
+        "meter_net",
+        exec_time=0.100,
+        demand=DemandVector(cpu=0.05, memory_mb=256.0, net_mbps=60.0),
+        sens=SensitivityVector(cpu=0.0, io=0.0, net=1.0),
+    ),
+}
+
+#: meter name per axis index
+AXIS_METERS = ("meter_cpu", "meter_io", "meter_net")
+
+
+def meter_axis_index(name: str) -> int:
+    """Axis (0=cpu, 1=io, 2=net) a meter name measures."""
+    try:
+        return AXIS_METERS.index(name)
+    except ValueError:
+        raise KeyError(f"{name!r} is not a contention meter") from None
+
+
+def expected_platform_overhead(spec: MicroserviceSpec, cfg: ServerlessConfig) -> float:
+    """Mean per-query serverless overhead α for ``spec`` (Eq. 6's α).
+
+    Processing (lognormal mean), warm code loading, and result posting —
+    the stages of Fig. 4 that are not execution or queueing.
+    """
+    proc = cfg.proc_overhead_median * math.exp(0.5 * cfg.proc_overhead_sigma**2)
+    load = spec.code_mb / cfg.warm_load_mbps
+    post = cfg.post_overhead_base + spec.result_mb / cfg.post_mbps
+    return proc + load + post
+
+
+def analytic_meter_latency(
+    meter: MicroserviceSpec,
+    pressure: float,
+    axis: int,
+    contention: ContentionConfig,
+    cfg: ServerlessConfig,
+) -> float:
+    """Closed-form expected meter latency at ``pressure`` on ``axis``."""
+    if not 0 <= axis < 3:
+        raise ValueError(f"axis must be 0..2, got {axis}")
+    p = [0.0, 0.0, 0.0]
+    p[axis] = pressure
+    slow = contention.slowdown(meter.sensitivity, (p[0], p[1], p[2]))
+    return expected_platform_overhead(meter, cfg) + meter.exec_time * slow
+
+
+@dataclass(frozen=True)
+class MeterProfile:
+    """A monotone latency-vs-pressure curve for one meter (one Fig. 8 panel)."""
+
+    meter: str
+    axis: int
+    pressures: np.ndarray
+    latencies: np.ndarray
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.pressures, dtype=float)
+        l = np.asarray(self.latencies, dtype=float)
+        if p.ndim != 1 or p.shape != l.shape or p.size < 2:
+            raise ValueError("profile needs matching 1-D grids of length >= 2")
+        if np.any(np.diff(p) <= 0):
+            raise ValueError("pressure grid must be strictly increasing")
+        if np.any(np.diff(l) < 0):
+            raise ValueError("latency curve must be non-decreasing in pressure")
+        object.__setattr__(self, "pressures", p)
+        object.__setattr__(self, "latencies", l)
+
+    def latency(self, pressure: float) -> float:
+        """Interpolated meter latency at ``pressure`` (clamped to the grid)."""
+        return float(np.interp(pressure, self.pressures, self.latencies))
+
+    def invert(self, latency: float) -> float:
+        """Pressure whose profiled latency is ``latency`` (the measurement step).
+
+        Clamped to the profiled range; flat stretches resolve to their
+        left edge (lowest pressure consistent with the observation).
+        """
+        lats, prs = self.latencies, self.pressures
+        if latency <= lats[0]:
+            return float(prs[0])
+        if latency >= lats[-1]:
+            return float(prs[-1])
+        idx = int(np.searchsorted(lats, latency, side="left"))
+        l0, l1 = lats[idx - 1], lats[idx]
+        if l1 == l0:
+            return float(prs[idx - 1])
+        frac = (latency - l0) / (l1 - l0)
+        return float(prs[idx - 1] + frac * (prs[idx] - prs[idx - 1]))
+
+
+def profile_meter(
+    meter_name: str,
+    contention: Optional[ContentionConfig] = None,
+    cfg: Optional[ServerlessConfig] = None,
+    pressure_max: float = 1.6,
+    points: int = 17,
+) -> MeterProfile:
+    """Analytic Fig. 8 curve for one meter (the runtime default)."""
+    contention = contention if contention is not None else ContentionConfig()
+    cfg = cfg if cfg is not None else ServerlessConfig()
+    meter = METER_SPECS[meter_name]
+    axis = meter_axis_index(meter_name)
+    grid = np.linspace(0.0, pressure_max, points)
+    lats = np.array(
+        [analytic_meter_latency(meter, float(p), axis, contention, cfg) for p in grid]
+    )
+    return MeterProfile(meter=meter_name, axis=axis, pressures=grid, latencies=lats)
+
+
+def profile_meter_measured(
+    meter_name: str,
+    contention: Optional[ContentionConfig] = None,
+    cfg: Optional[ServerlessConfig] = None,
+    node: Optional[NodeSpec] = None,
+    pressure_max: float = 1.6,
+    points: int = 9,
+    queries_per_point: int = 60,
+    seed: int = 7,
+) -> MeterProfile:
+    """Fig. 8 curve by mini-simulation: the paper's profiling methodology.
+
+    For each grid pressure, a fresh serverless platform is stood up, a
+    standing background demand is injected on the meter's axis, and the
+    meter is invoked ``queries_per_point`` times at 1 QPS; the mean
+    end-to-end latency (queueing excluded — the meter never queues at
+    1 QPS) is the curve sample.  Monotonicity is enforced by a running
+    maximum, which irons out sampling noise.
+    """
+    # local imports: keep the profiling path's heavier deps out of the
+    # runtime import graph
+    from repro.serverless.platform import ServerlessPlatform
+    from repro.sim.environment import Environment
+    from repro.sim.rng import RngRegistry
+    from repro.telemetry import ServiceMetrics
+
+    contention = contention if contention is not None else ContentionConfig()
+    cfg = cfg if cfg is not None else ServerlessConfig()
+    node = node if node is not None else NodeSpec(name="profiling")
+    meter = METER_SPECS[meter_name]
+    axis = meter_axis_index(meter_name)
+    capacities = (node.cores, node.disk_mbps, node.net_mbps)
+
+    grid = np.linspace(0.0, pressure_max, points)
+    lats = []
+    for i, p in enumerate(grid):
+        env = Environment()
+        rng = RngRegistry(seed=seed + i)
+        platform = ServerlessPlatform(env, rng, node=node, config=cfg, contention=contention)
+        metrics = ServiceMetrics(meter.name, meter.qos_target)
+        platform.register(meter, metrics=metrics)
+        background = DemandVector(
+            cpu=capacities[0] * p if axis == 0 else 0.0,
+            io_mbps=capacities[1] * p if axis == 1 else 0.0,
+            net_mbps=capacities[2] * p if axis == 2 else 0.0,
+        )
+        remove = platform.machine.inject_background(background)
+
+        def driver(env=env, platform=platform, meter=meter):
+            from repro.workloads.loadgen import Query
+
+            for k in range(queries_per_point):
+                q = Query(qid=k, service=meter.name, t_submit=env.now)
+                platform.invoke(q)
+                yield env.timeout(1.0)
+
+        env.process(driver())
+        env.run(until=queries_per_point + 10.0)
+        remove()
+        # drop the first few samples: they pay the cold start
+        vals = np.sort(metrics.latencies.values())
+        if vals.size == 0:
+            raise RuntimeError(f"profiling produced no samples at pressure {p}")
+        trimmed = vals[: max(1, int(0.9 * vals.size))]  # trim cold-start tail
+        lats.append(float(np.mean(trimmed)))
+    lats = np.maximum.accumulate(np.asarray(lats))
+    return MeterProfile(meter=meter_name, axis=axis, pressures=grid, latencies=lats)

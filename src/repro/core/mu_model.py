@@ -1,0 +1,102 @@
+"""Eq. 6: contention-corrected per-container processing capacity μ.
+
+The controller predicts the per-query latency a microservice would see on
+the serverless platform as
+
+    L_pred = L₀ + Σᵢ wᵢ·max(Lᵢ − L₀, 0) + α + b
+
+where L₀ is the solo-run service latency, Lᵢ the surface-predicted
+service latency under the current pressure on axis *i* (each Lᵢ already
+contains the service's own-load self-interference), α the mean platform
+overhead, and (w, b) the calibration the multi-resource contention
+monitor maintains.  Then μ = 1 / L_pred, which feeds the M/M/N
+discriminant (Eq. 5).  This is Eq. 6 in the normalized form the paper's
+own example uses (weights scale each axis's *degradation*; the paper's
+``Σ wᵢ·Lᵢ/L₀`` with Σwᵢ = 1 is the same expression re-arranged).
+
+Two calibration regimes:
+
+* **Amoeba**: (w, b) fitted online by the monitor's PCA regression.
+* **Amoeba-NoM** (§VII-C): no monitor — the controller "pessimistically
+  assumes that the QoS degradations of a query due to the contention on
+  each of the shared resources are accumulated", i.e. w = (1, 1, 1),
+  b = 0, forever.  Because each Lᵢ independently includes the own-load
+  degradation, the plain sum over-counts it (and the cross-resource
+  coupling), which is exactly why NoM switches to serverless late and
+  burns more resources (Fig. 14) with larger discriminant error (Fig. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["MuEstimate", "NOM_WEIGHTS", "predicted_latency", "mu_value"]
+
+#: the Amoeba-NoM pessimistic-accumulation weights
+NOM_WEIGHTS: Tuple[float, float, float] = (1.0, 1.0, 1.0)
+
+
+@dataclass(frozen=True)
+class MuEstimate:
+    """One μ computation with its inputs, for logging and Fig. 15."""
+
+    service: str
+    predicted_latency: float
+    mu: float
+    weights: Tuple[float, float, float]
+    bias: float
+    axis_latencies: Tuple[float, float, float]
+    solo_latency: float
+    alpha: float
+
+
+def predicted_latency(
+    solo_latency: float,
+    axis_latencies,
+    weights,
+    alpha: float,
+    bias: float = 0.0,
+) -> float:
+    """Eq. 6 numerator: predicted per-query serverless latency.
+
+    The result is floored at ``solo_latency + alpha`` — no amount of
+    calibration may predict a latency below the uncontended one, which
+    keeps a badly-fitted regression from producing an over-optimistic μ.
+    """
+    if solo_latency <= 0:
+        raise ValueError(f"solo_latency must be positive, got {solo_latency}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    L = np.asarray(axis_latencies, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    if L.shape != (3,) or w.shape != (3,):
+        raise ValueError("axis_latencies and weights must each have 3 entries")
+    degradation = float(np.dot(w, np.maximum(L - solo_latency, 0.0)))
+    return max(solo_latency + degradation + alpha + bias, solo_latency + alpha)
+
+
+def mu_value(
+    service: str,
+    solo_latency: float,
+    axis_latencies,
+    weights,
+    alpha: float,
+    bias: float = 0.0,
+) -> MuEstimate:
+    """μ = 1 / L_pred, packaged with its inputs."""
+    lat = predicted_latency(solo_latency, axis_latencies, weights, alpha, bias)
+    L = tuple(float(x) for x in np.asarray(axis_latencies, dtype=float))
+    w = tuple(float(x) for x in np.asarray(weights, dtype=float))
+    return MuEstimate(
+        service=service,
+        predicted_latency=lat,
+        mu=1.0 / lat,
+        weights=w,  # type: ignore[arg-type]
+        bias=float(bias),
+        axis_latencies=L,  # type: ignore[arg-type]
+        solo_latency=float(solo_latency),
+        alpha=float(alpha),
+    )

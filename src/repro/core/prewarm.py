@@ -1,0 +1,35 @@
+"""Eq. 7: how many containers to prewarm before a switch (paper §V-A).
+
+A container runs one query at a time, so ``n`` warm containers sustain a
+query speed of ``n / QoS_t`` while keeping every query inside the QoS
+target.  Eq. 7 picks the smallest such n for the current load V_u:
+
+    (n − 1)/QoS_t < V_u ≤ n/QoS_t    ⇒    n = ⌈V_u · QoS_t⌉
+
+"The value of n … ensures that the prewarmed containers is enough and
+leaves space for creating more containers for burst invocations."
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["prewarm_count"]
+
+
+def prewarm_count(load: float, qos_target: float, headroom: int = 0, n_cap: int = 10**6) -> int:
+    """Eq. 7 container count for ``load`` queries/s, plus ``headroom``.
+
+    Always at least 1 (a switch with zero warm containers would cold
+    start the very first query); capped at ``n_cap`` (the §IV-A n_max).
+    """
+    if load < 0:
+        raise ValueError(f"load must be >= 0, got {load}")
+    if qos_target <= 0:
+        raise ValueError(f"qos_target must be positive, got {qos_target}")
+    if headroom < 0:
+        raise ValueError(f"headroom must be >= 0, got {headroom}")
+    if n_cap < 1:
+        raise ValueError(f"n_cap must be >= 1, got {n_cap}")
+    n = math.ceil(load * qos_target)
+    return max(1, min(n + headroom, n_cap))

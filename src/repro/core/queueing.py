@@ -1,0 +1,304 @@
+"""The M/M/N queueing model of paper §IV (Eqs. 1–5).
+
+Queries arrive Poisson(λ), N containers each serve exp(μ), one FIFO queue
+of infinite capacity.  With ρ = λ/(Nμ) < 1 the stationary distribution is
+Eq. 1; the waiting-time CDF is Eq. 4:
+
+    F_W(t) = 1 − π_N/(1−ρ) · exp(−Nμ(1−ρ)t)
+
+and the paper's discriminant function (Eq. 5) inverts "the r-ile of
+(wait + mean service) equals the QoS target T_D" for the largest
+admissible arrival rate:
+
+    λ(μ) = Nμ + ln[(1−r)(1−ρ)/π_N] / (T_D − 1/μ)
+
+Because ρ and π_N on the right-hand side themselves depend on λ, Eq. 5 is
+a fixed-point equation; :func:`discriminant_lambda` solves it by damped
+iteration, and :func:`max_arrival_rate` solves the same threshold by
+bisection (the two agree — a regression test asserts it).  All probability
+computations run in log space so they stay finite for large N.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "discriminant_lambda",
+    "erlang_c",
+    "erlang_pi0",
+    "erlang_pin",
+    "max_arrival_rate",
+    "max_arrival_rate_gg",
+    "mean_wait",
+    "min_servers",
+    "qos_satisfied",
+    "qos_satisfied_gg",
+    "sojourn_quantile",
+    "wait_cdf",
+    "wait_quantile",
+    "wait_quantile_gg",
+]
+
+
+def _validate(n: int, rho: float) -> None:
+    if n < 1:
+        raise ValueError(f"need at least one server, got n={n}")
+    if not 0.0 <= rho < 1.0:
+        raise ValueError(f"utilization must be in [0, 1) for a stable queue, got rho={rho}")
+
+
+def erlang_pi0(n: int, rho: float) -> float:
+    """π₀: probability the system is empty (Eq. 1 normalization).
+
+    Computed via the ratio recurrence term_{k+1}/term_k = nρ/(k+1), which
+    avoids factorial overflow for any n.
+    """
+    _validate(n, rho)
+    if rho == 0.0:
+        return 1.0
+    a = n * rho  # offered load in erlangs
+    total = 1.0  # k = 0 term
+    term = 1.0
+    for k in range(1, n):
+        term *= a / k
+        total += term
+    # tail term: (nρ)^n / (n! (1-ρ))
+    term *= a / n
+    total += term / (1.0 - rho)
+    return 1.0 / total
+
+
+def erlang_pin(n: int, rho: float) -> float:
+    """π_N: probability exactly N queries are in the system (Eq. 1)."""
+    _validate(n, rho)
+    if rho == 0.0:
+        return 0.0
+    pi0 = erlang_pi0(n, rho)
+    a = n * rho
+    # (nρ)^n / n! in log space
+    log_term = n * math.log(a) - math.lgamma(n + 1)
+    return math.exp(log_term + math.log(pi0))
+
+
+def erlang_c(n: int, rho: float) -> float:
+    """Erlang-C: probability an arrival must wait, P{W > 0} = π_N/(1−ρ)."""
+    _validate(n, rho)
+    if rho == 0.0:
+        return 0.0
+    return erlang_pin(n, rho) / (1.0 - rho)
+
+
+def wait_cdf(t: float, lam: float, mu: float, n: int) -> float:
+    """F_W(t): probability the queueing delay is at most ``t`` (Eq. 4)."""
+    if t < 0:
+        return 0.0
+    if lam < 0 or mu <= 0:
+        raise ValueError("lam must be >= 0 and mu > 0")
+    rho = lam / (n * mu)
+    _validate(n, rho)
+    if lam == 0.0:
+        return 1.0
+    pw = erlang_c(n, rho)
+    return 1.0 - pw * math.exp(-n * mu * (1.0 - rho) * t)
+
+
+def wait_quantile(r: float, lam: float, mu: float, n: int) -> float:
+    """W_r: the r-ile of the queueing delay (inverse of Eq. 4).
+
+    Zero when P{W > 0} ≤ 1 − r (the r-ile arrival does not wait at all).
+    """
+    if not 0.0 < r < 1.0:
+        raise ValueError(f"r must be in (0, 1), got {r}")
+    if lam < 0 or mu <= 0:
+        raise ValueError("lam must be >= 0 and mu > 0")
+    rho = lam / (n * mu)
+    _validate(n, rho)
+    if lam == 0.0:
+        return 0.0
+    pw = erlang_c(n, rho)
+    if pw <= (1.0 - r):
+        return 0.0
+    return math.log(pw / (1.0 - r)) / (n * mu * (1.0 - rho))
+
+
+def mean_wait(lam: float, mu: float, n: int) -> float:
+    """E[W]: mean queueing delay = P{W>0} / (Nμ − λ)."""
+    if lam < 0 or mu <= 0:
+        raise ValueError("lam must be >= 0 and mu > 0")
+    rho = lam / (n * mu)
+    _validate(n, rho)
+    if lam == 0.0:
+        return 0.0
+    return erlang_c(n, rho) / (n * mu - lam)
+
+
+def sojourn_quantile(r: float, lam: float, mu: float, n: int) -> float:
+    """The paper's r-ile end-to-end estimate: W_r + 1/μ.
+
+    (Eq. 5 budgets T_D − 1/μ for the wait, i.e. it adds the *mean*
+    service time to the wait quantile rather than convolving the two —
+    we reproduce that approximation faithfully.)
+    """
+    return wait_quantile(r, lam, mu, n) + 1.0 / mu
+
+
+def qos_satisfied(lam: float, mu: float, n: int, qos: float, r: float = 0.95) -> bool:
+    """Can N containers of capacity μ meet ``qos`` at arrival rate λ?"""
+    if qos <= 0:
+        raise ValueError(f"qos must be positive, got {qos}")
+    if lam >= n * mu:
+        return False  # unstable queue: no
+    return sojourn_quantile(r, lam, mu, n) <= qos
+
+
+def max_arrival_rate(mu: float, n: int, qos: float, r: float = 0.95, tol: float = 1e-9) -> float:
+    """Largest λ for which ``qos_satisfied`` holds, by bisection.
+
+    This is the operational meaning of the paper's discriminant function:
+    if the observed load λ is at most this value, switching the service
+    to the serverless platform keeps its r-ile latency within T_D.
+    Returns 0.0 when even a lone query misses the target (1/μ > T_D).
+    """
+    if mu <= 0 or n < 1:
+        raise ValueError("mu must be > 0 and n >= 1")
+    if qos <= 1.0 / mu:
+        return 0.0
+    lo, hi = 0.0, n * mu * (1.0 - 1e-12)
+    if qos_satisfied(hi, mu, n, qos, r):
+        return hi
+    while hi - lo > tol * max(1.0, n * mu):
+        mid = 0.5 * (lo + hi)
+        if qos_satisfied(mid, mu, n, qos, r):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def discriminant_lambda(
+    mu: float,
+    n: int,
+    qos: float,
+    r: float = 0.95,
+    max_iter: int = 200,
+    damping: float = 0.5,
+) -> float:
+    """Paper Eq. 5 by damped fixed-point iteration.
+
+        λ(μ) = Nμ + ln[(1−r)(1−ρ)/π_N] / (T_D − 1/μ)
+
+    The iteration is started from the bisection answer's neighbourhood
+    (0.5·Nμ) and damped because the bare map can oscillate near
+    saturation.  Agrees with :func:`max_arrival_rate` to solver
+    tolerance; a unit test enforces that.
+    """
+    if mu <= 0 or n < 1:
+        raise ValueError("mu must be > 0 and n >= 1")
+    if qos <= 1.0 / mu:
+        return 0.0
+    budget = qos - 1.0 / mu
+    lam = 0.5 * n * mu
+    for _ in range(max_iter):
+        rho = lam / (n * mu)
+        if not 0.0 < rho < 1.0:
+            rho = min(max(rho, 1e-9), 1.0 - 1e-9)
+        pin = erlang_pin(n, rho)
+        if pin <= 0.0:
+            # no queueing at all at this λ: QoS holds up to (numerically) Nμ
+            lam_new = n * mu * (1.0 - 1e-9)
+        else:
+            arg = (1.0 - r) * (1.0 - rho) / pin
+            if arg >= 1.0:
+                # r-ile wait already zero: the wait constraint is slack
+                lam_new = n * mu * (1.0 - 1e-9)
+            else:
+                lam_new = n * mu + math.log(arg) / budget
+        lam_new = min(max(lam_new, 0.0), n * mu * (1.0 - 1e-12))
+        nxt = (1.0 - damping) * lam + damping * lam_new
+        if abs(nxt - lam) < 1e-10 * max(1.0, n * mu):
+            lam = nxt
+            break
+        lam = nxt
+    return lam
+
+
+def _gg_factor(ca2: float, cs2: float) -> float:
+    """Allen–Cunneen variability factor (C_a² + C_s²)/2."""
+    if ca2 < 0 or cs2 < 0:
+        raise ValueError("squared coefficients of variation must be >= 0")
+    return 0.5 * (ca2 + cs2)
+
+
+def wait_quantile_gg(
+    r: float, lam: float, mu: float, n: int, ca2: float = 1.0, cs2: float = 0.0
+) -> float:
+    """G/G/N wait r-ile via the Allen–Cunneen correction.
+
+    The paper's Eq. 5 assumes exponential service (M/M/N), but FaaS
+    kernels are near-deterministic, which makes M/M/N waits conservative
+    by about 2× (M/D/1's mean wait is exactly half of M/M/1's).  The
+    Allen–Cunneen approximation scales the M/M/N wait by
+    (C_a² + C_s²)/2; with Poisson arrivals (C_a² = 1) and deterministic
+    service (C_s² = 0) that recovers the M/D/N half-wait rule.  This is
+    an *extension* beyond the paper — the default discriminant stays
+    faithful to Eq. 5.
+    """
+    return wait_quantile(r, lam, mu, n) * _gg_factor(ca2, cs2)
+
+
+def qos_satisfied_gg(
+    lam: float, mu: float, n: int, qos: float, r: float = 0.95, ca2: float = 1.0, cs2: float = 0.0
+) -> bool:
+    """G/G/N analogue of :func:`qos_satisfied`."""
+    if qos <= 0:
+        raise ValueError(f"qos must be positive, got {qos}")
+    if lam >= n * mu:
+        return False
+    return wait_quantile_gg(r, lam, mu, n, ca2, cs2) + 1.0 / mu <= qos
+
+
+def max_arrival_rate_gg(
+    mu: float,
+    n: int,
+    qos: float,
+    r: float = 0.95,
+    ca2: float = 1.0,
+    cs2: float = 0.0,
+    tol: float = 1e-9,
+) -> float:
+    """Largest admissible λ under the Allen–Cunneen-corrected wait."""
+    if mu <= 0 or n < 1:
+        raise ValueError("mu must be > 0 and n >= 1")
+    if qos <= 1.0 / mu:
+        return 0.0
+    lo, hi = 0.0, n * mu * (1.0 - 1e-12)
+    if qos_satisfied_gg(hi, mu, n, qos, r, ca2, cs2):
+        return hi
+    while hi - lo > tol * max(1.0, n * mu):
+        mid = 0.5 * (lo + hi)
+        if qos_satisfied_gg(mid, mu, n, qos, r, ca2, cs2):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def min_servers(lam: float, mu: float, qos: float, r: float = 0.95, n_cap: int = 4096) -> int:
+    """Smallest N meeting ``qos`` at load λ; raises if ``n_cap`` is not enough.
+
+    Used both by the controller (how many containers must be warm) and by
+    the IaaS "just-enough" sizing.
+    """
+    if lam < 0 or mu <= 0:
+        raise ValueError("lam must be >= 0 and mu > 0")
+    if qos <= 1.0 / mu:
+        raise ValueError(f"QoS {qos}s is below the mean service time {1.0 / mu}s: unattainable")
+    if lam == 0.0:
+        return 1
+    n = max(1, math.ceil(lam / mu))
+    while n <= n_cap:
+        if lam < n * mu and qos_satisfied(lam, mu, n, qos, r):
+            return n
+        n += 1
+    raise ValueError(f"no server count up to {n_cap} meets qos={qos} at lam={lam}, mu={mu}")

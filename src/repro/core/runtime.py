@@ -1,0 +1,274 @@
+"""The Amoeba runtime facade (paper §III, Fig. 6).
+
+Wires the three components around a shared serverless node and per-
+service IaaS rentals:
+
+* one :class:`~repro.serverless.platform.ServerlessPlatform` — the
+  multi-tenant container pool every microservice (and the meters) shares;
+* one :class:`~repro.core.monitor.ContentionMonitor` with its meter
+  daemons and PCA calibration;
+* per managed microservice: a just-enough IaaS rental, a
+  :class:`~repro.core.engine.HybridExecutionEngine` and a
+  :class:`~repro.core.controller.DeploymentController` with the
+  co-tenant QoS guard;
+* optional *background services* that always run serverless (the paper's
+  ``float``/``dd``/``cloud_stor`` low-peak co-tenants, §VII-A) and
+  provide the contention the monitor must see through.
+
+The ablation variants are configuration: ``AmoebaConfig.variant_nom()``
+(no PCA) and ``variant_nop()`` (no prewarm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cluster.accounting import UsageSample
+from repro.cluster.resource_model import ContentionConfig
+from repro.cluster.spec import CLUSTER_TABLE_II, ClusterSpec
+from repro.core.config import AmoebaConfig
+from repro.core.controller import DeploymentController
+from repro.core.engine import DeployMode, HybridExecutionEngine
+from repro.core.monitor import ContentionMonitor
+from repro.core.mu_model import predicted_latency
+from repro.core.queueing import qos_satisfied
+from repro.core.surfaces import SurfaceSet, build_surface_set
+from repro.iaas.service import IaaSService
+from repro.iaas.sizing import size_service
+from repro.iaas.vm import VMFlavor
+from repro.serverless.config import ServerlessConfig
+from repro.serverless.platform import ServerlessPlatform
+from repro.sim.environment import Environment
+from repro.sim.rng import RngRegistry
+from repro.telemetry import ServiceMetrics
+from repro.workloads.functionbench import MicroserviceSpec
+from repro.workloads.loadgen import LoadGenerator
+from repro.workloads.traces import Trace
+
+__all__ = ["AmoebaRuntime", "BackgroundService", "ManagedService"]
+
+
+@dataclass
+class ManagedService:
+    """Everything Amoeba holds for one managed microservice."""
+
+    spec: MicroserviceSpec
+    trace: Trace
+    metrics: ServiceMetrics
+    iaas: IaaSService
+    engine: HybridExecutionEngine
+    controller: DeploymentController
+    surfaces: SurfaceSet
+    loadgen: LoadGenerator
+
+
+@dataclass
+class BackgroundService:
+    """A co-tenant that always runs on the serverless platform."""
+
+    spec: MicroserviceSpec
+    trace: Trace
+    metrics: ServiceMetrics
+    surfaces: SurfaceSet
+    loadgen: LoadGenerator
+
+
+class AmoebaRuntime:
+    """One Amoeba deployment: shared serverless node + managed services."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        config: Optional[AmoebaConfig] = None,
+        cluster: Optional[ClusterSpec] = None,
+        serverless_config: Optional[ServerlessConfig] = None,
+        contention: Optional[ContentionConfig] = None,
+        flavor: Optional[VMFlavor] = None,
+        env: Optional[Environment] = None,
+    ):
+        self.env = env if env is not None else Environment()
+        self.rng = RngRegistry(seed=seed)
+        self.config = config if config is not None else AmoebaConfig()
+        self.cluster = cluster if cluster is not None else CLUSTER_TABLE_II
+        self.contention = contention if contention is not None else ContentionConfig()
+        self.flavor = flavor if flavor is not None else VMFlavor()
+        self.serverless = ServerlessPlatform(
+            self.env,
+            self.rng,
+            node=self.cluster.serverless_node,
+            config=serverless_config,
+            contention=self.contention,
+        )
+        self.monitor = ContentionMonitor(self.env, self.serverless, self.config, self.rng)
+        self.monitor.start()
+        self.services: Dict[str, ManagedService] = {}
+        self.background: Dict[str, BackgroundService] = {}
+
+    # -- wiring ------------------------------------------------------------------
+    def _build_surfaces(
+        self, spec: MicroserviceSpec, load_max: Optional[float] = None
+    ) -> SurfaceSet:
+        cfg = self.config
+        return build_surface_set(
+            spec,
+            node=self.cluster.serverless_node,
+            contention=self.contention,
+            cfg=self.serverless.config,
+            pressure_max=cfg.surface_pressure_max,
+            pressure_points=cfg.surface_pressure_points,
+            load_max=load_max,
+            load_points=cfg.surface_load_points,
+        )
+
+    def add_service(
+        self,
+        spec: MicroserviceSpec,
+        trace: Trace,
+        initial_mode: DeployMode = DeployMode.IAAS,
+        guard_enabled: bool = True,
+        limit: Optional[int] = None,
+    ) -> ManagedService:
+        """Put one microservice under Amoeba management.
+
+        The IaaS side is sized just-enough for ``trace.peak_rate`` (the
+        paper's §III setup: the maintainer supplies a configuration that
+        can serve the peak).  The default starting mode is IaaS, as in
+        §III step 1.
+        """
+        if spec.name in self.services or spec.name in self.background:
+            raise ValueError(f"service {spec.name!r} already added")
+        metrics = ServiceMetrics(spec.name, spec.qos_target)
+        sizing = size_service(
+            spec, trace.peak_rate, flavor=self.flavor, contention=self.contention
+        )
+        iaas = IaaSService(
+            self.env, spec, sizing, self.rng, metrics=metrics, contention=self.contention
+        )
+        if initial_mode is DeployMode.IAAS:
+            iaas.deploy(instant=True)
+        # Amoeba-NoP has no prewarm module, and the prewarm module is also
+        # what keeps containers warm for later queries (§V-A) — so the
+        # NoP variant cold starts every invocation
+        keep_alive = None if self.config.prewarm else 0.0
+        self.serverless.register(spec, metrics=metrics, limit=limit, keep_alive=keep_alive)
+        # profile the surfaces out to twice the service's design peak —
+        # that is the whole load range the controller will ever query
+        surfaces = self._build_surfaces(spec, load_max=2.0 * trace.peak_rate)
+        self.monitor.register_service(spec.name, surfaces)
+        engine = HybridExecutionEngine(
+            self.env,
+            spec,
+            iaas,
+            self.serverless,
+            metrics,
+            self.config,
+            self.rng,
+            initial_mode=initial_mode,
+        )
+        guard = self._make_guard(spec.name) if guard_enabled else None
+        controller = DeploymentController(
+            self.env, spec, engine, self.monitor, self.config, guard=guard
+        )
+        loadgen = LoadGenerator(self.env, spec.name, trace, engine.route, self.rng)
+        managed = ManagedService(
+            spec=spec,
+            trace=trace,
+            metrics=metrics,
+            iaas=iaas,
+            engine=engine,
+            controller=controller,
+            surfaces=surfaces,
+            loadgen=loadgen,
+        )
+        self.services[spec.name] = managed
+        return managed
+
+    def add_background(
+        self, spec: MicroserviceSpec, trace: Trace, limit: Optional[int] = None
+    ) -> BackgroundService:
+        """Add an always-serverless co-tenant (contention source)."""
+        if spec.name in self.services or spec.name in self.background:
+            raise ValueError(f"service {spec.name!r} already added")
+        metrics = ServiceMetrics(spec.name, spec.qos_target)
+        self.serverless.register(spec, metrics=metrics, limit=limit)
+        surfaces = self._build_surfaces(spec, load_max=2.0 * trace.peak_rate)
+        self.monitor.register_service(spec.name, surfaces)
+        loadgen = LoadGenerator(self.env, spec.name, trace, self.serverless.invoke, self.rng)
+        bg = BackgroundService(
+            spec=spec, trace=trace, metrics=metrics, surfaces=surfaces, loadgen=loadgen
+        )
+        self.background[spec.name] = bg
+        return bg
+
+    # -- the co-tenant QoS guard (paper SIII) --------------------------------------
+    def _make_guard(self, name: str):
+        def guard(load: float, service_time: float) -> bool:
+            return self.switch_in_is_safe(name, load, service_time)
+
+        return guard
+
+    def switch_in_is_safe(self, name: str, load: float, service_time: float) -> bool:
+        """Would moving ``name`` in at ``load`` keep every tenant's QoS?
+
+        Adds the candidate's projected pressure to the monitor's current
+        measurement, re-predicts each current serverless tenant's μ via
+        its own surfaces and calibrated weights, and checks the tenant's
+        QoS with the same M/M/N model the discriminant uses — i.e. the
+        projected *end-to-end* (queueing included) r-ile latency must
+        stay inside each tenant's target (paper §III step 3).
+        """
+        spec = (
+            self.services[name].spec if name in self.services else self.background[name].spec
+        )
+        node = self.cluster.serverless_node
+        busy = load * service_time
+        d = spec.demand
+        base = self.monitor.pressure()
+        projected = (
+            base[0] + busy * d.cpu / node.cores,
+            base[1] + busy * d.io_mbps / node.disk_mbps,
+            base[2] + busy * d.net_mbps / node.net_mbps,
+        )
+        now = self.env.now
+        for tenant_name, tenant_spec, tenant_metrics, surfaces in self._serverless_tenants():
+            if tenant_name == name:
+                continue
+            t_load = tenant_metrics.load.rate(now)
+            weights, bias = self.monitor.weights(tenant_name)
+            axis_lat = surfaces.axis_latencies(projected, t_load)
+            lat = predicted_latency(
+                surfaces.solo_latency, axis_lat, weights, surfaces.alpha, bias
+            )
+            if lat > tenant_spec.qos_target:
+                return False
+            n_avail = self.serverless.n_max(tenant_name)
+            if n_avail < 1 or not qos_satisfied(
+                t_load, 1.0 / lat, n_avail, tenant_spec.qos_target, self.config.r_ile
+            ):
+                return False
+        return True
+
+    def _serverless_tenants(self):
+        """(name, spec, metrics, surfaces) of services now on serverless."""
+        for bg_name, bg in self.background.items():
+            yield bg_name, bg.spec, bg.metrics, bg.surfaces
+        for svc_name, svc in self.services.items():
+            if svc.engine.mode is DeployMode.SERVERLESS:
+                yield svc_name, svc.spec, svc.metrics, svc.surfaces
+
+    # -- execution / results --------------------------------------------------------
+    def run(self, until: float) -> None:
+        """Advance the simulation to time ``until``."""
+        self.env.run(until=until)
+
+    def service_usage(self, name: str) -> UsageSample:
+        """Combined vendor-side usage of one managed service (IaaS + serverless)."""
+        svc = self.services[name]
+        iaas_usage = svc.iaas.ledger.snapshot()
+        sls_usage = self.serverless.function_ledger(name).snapshot()
+        return iaas_usage + sls_usage
+
+    def meter_overhead(self) -> float:
+        """Mean fraction of the serverless node the meters consume (§VII-E)."""
+        return self.monitor.meter_cpu_overhead()

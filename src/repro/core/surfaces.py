@@ -1,0 +1,274 @@
+"""Per-microservice latency surfaces L(P, V_u) (paper §IV-B step 1, Fig. 9).
+
+For each resource axis, a surface maps *(platform pressure on that axis,
+the microservice's own load)* to the microservice's expected per-query
+**service latency** — contended execution time, excluding queueing and
+platform overheads (queueing is the M/M/N model's job; overheads are
+Eq. 6's α).  The own-load axis matters because a service at load V keeps
+``V·s`` containers busy (Little's law), and those containers pressure
+the platform too — a self-interference fixed point that
+:func:`service_time_fixed_point` resolves.
+
+As with the meter profiles, surfaces can be built analytically (instant,
+runtime default) or by measurement (mini-simulation per grid point; the
+Fig. 9 bench uses it, and a test checks the two agree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.resource_model import ContentionConfig
+from repro.cluster.spec import NodeSpec
+from repro.core.meters import expected_platform_overhead
+from repro.serverless.config import ServerlessConfig
+from repro.workloads.functionbench import MicroserviceSpec
+
+__all__ = [
+    "LatencySurface",
+    "SurfaceSet",
+    "build_surface_set",
+    "measured_surface",
+    "service_time_fixed_point",
+]
+
+
+def service_time_fixed_point(
+    spec: MicroserviceSpec,
+    external: Tuple[float, float, float],
+    load: float,
+    capacities: Tuple[float, float, float],
+    contention: ContentionConfig,
+    tol: float = 1e-9,
+    max_iter: int = 200,
+) -> float:
+    """Self-consistent contended service time at ``load`` queries/s.
+
+    Solves ``s = exec · slowdown(sens, external + own(s))`` where
+    ``own(s)`` is the pressure of the service's own ``load·s`` concurrent
+    executions.  Damped iteration; the pressure cap in the contention
+    config bounds the map, so it always converges.
+    """
+    if load < 0:
+        raise ValueError(f"load must be >= 0, got {load}")
+    d = spec.demand
+    per_query = (d.cpu / capacities[0], d.io_mbps / capacities[1], d.net_mbps / capacities[2])
+    s = spec.exec_time
+    for _ in range(max_iter):
+        busy = load * s
+        p = (
+            external[0] + busy * per_query[0],
+            external[1] + busy * per_query[1],
+            external[2] + busy * per_query[2],
+        )
+        s_new = spec.exec_time * contention.slowdown(spec.sensitivity, p)
+        if abs(s_new - s) < tol * spec.exec_time:
+            return s_new
+        s = 0.5 * (s + s_new)
+    return s
+
+
+@dataclass(frozen=True)
+class LatencySurface:
+    """One Fig. 9 panel: service latency over (axis pressure, own load)."""
+
+    service: str
+    axis: int
+    pressures: np.ndarray
+    loads: np.ndarray
+    values: np.ndarray  # shape (len(pressures), len(loads))
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.pressures, dtype=float)
+        v = np.asarray(self.loads, dtype=float)
+        z = np.asarray(self.values, dtype=float)
+        if p.ndim != 1 or v.ndim != 1 or z.shape != (p.size, v.size):
+            raise ValueError("surface dimensions are inconsistent")
+        if np.any(np.diff(p) <= 0) or np.any(np.diff(v) <= 0):
+            raise ValueError("surface grids must be strictly increasing")
+        if np.any(z <= 0):
+            raise ValueError("surface latencies must be positive")
+        object.__setattr__(self, "pressures", p)
+        object.__setattr__(self, "loads", v)
+        object.__setattr__(self, "values", z)
+
+    def predict(self, pressure: float, load: float) -> float:
+        """Bilinear interpolation, clamped to the profiled grid."""
+        p = float(np.clip(pressure, self.pressures[0], self.pressures[-1]))
+        v = float(np.clip(load, self.loads[0], self.loads[-1]))
+        i = int(np.searchsorted(self.pressures, p, side="right")) - 1
+        j = int(np.searchsorted(self.loads, v, side="right")) - 1
+        i = min(max(i, 0), self.pressures.size - 2)
+        j = min(max(j, 0), self.loads.size - 2)
+        p0, p1 = self.pressures[i], self.pressures[i + 1]
+        v0, v1 = self.loads[j], self.loads[j + 1]
+        fp = (p - p0) / (p1 - p0)
+        fv = (v - v0) / (v1 - v0)
+        z = self.values
+        return float(
+            z[i, j] * (1 - fp) * (1 - fv)
+            + z[i + 1, j] * fp * (1 - fv)
+            + z[i, j + 1] * (1 - fp) * fv
+            + z[i + 1, j + 1] * fp * fv
+        )
+
+
+@dataclass(frozen=True)
+class SurfaceSet:
+    """All three surfaces of one microservice plus its Eq. 6 constants."""
+
+    service: str
+    surfaces: Tuple[LatencySurface, LatencySurface, LatencySurface]
+    #: L₀: solo-run service latency (single uncontended query)
+    solo_latency: float
+    #: α: mean per-query platform overhead
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if len(self.surfaces) != 3:
+            raise ValueError("need exactly three surfaces (cpu, io, net)")
+        for axis, s in enumerate(self.surfaces):
+            if s.axis != axis:
+                raise ValueError(f"surface at position {axis} claims axis {s.axis}")
+        if self.solo_latency <= 0 or self.alpha < 0:
+            raise ValueError("solo_latency must be positive and alpha >= 0")
+
+    def axis_latencies(self, pressures: Tuple[float, float, float], load: float) -> np.ndarray:
+        """(L₁, L₂, L₃): predicted service latency per contended axis."""
+        return np.array(
+            [self.surfaces[i].predict(pressures[i], load) for i in range(3)], dtype=float
+        )
+
+
+def build_surface_set(
+    spec: MicroserviceSpec,
+    node: Optional[NodeSpec] = None,
+    contention: Optional[ContentionConfig] = None,
+    cfg: Optional[ServerlessConfig] = None,
+    pressure_max: float = 1.6,
+    pressure_points: int = 9,
+    load_max: Optional[float] = None,
+    load_points: int = 8,
+) -> SurfaceSet:
+    """Analytic surfaces over a (pressure × load) grid (runtime default).
+
+    ``load_max`` defaults to the load that would saturate the service's
+    most-demanded resource axis on its own.
+    """
+    node = node if node is not None else NodeSpec(name="serverless")
+    contention = contention if contention is not None else ContentionConfig()
+    cfg = cfg if cfg is not None else ServerlessConfig()
+    capacities = (node.cores, node.disk_mbps, node.net_mbps)
+    if load_max is None:
+        d = spec.demand
+        per_query = max(
+            d.cpu / capacities[0], d.io_mbps / capacities[1], d.net_mbps / capacities[2], 1e-9
+        )
+        load_max = 1.0 / (per_query * spec.exec_time)
+    p_grid = np.linspace(0.0, pressure_max, pressure_points)
+    # quadratic spacing: dense where controllers actually operate (low
+    # loads), sparse toward self-saturation, so bilinear interpolation
+    # does not overshoot on the convex surface
+    v_grid = load_max * (np.linspace(0.0, 1.0, load_points) ** 2)
+
+    surfaces = []
+    for axis in range(3):
+        z = np.empty((p_grid.size, v_grid.size))
+        for i, p in enumerate(p_grid):
+            ext = [0.0, 0.0, 0.0]
+            ext[axis] = float(p)
+            for j, v in enumerate(v_grid):
+                z[i, j] = service_time_fixed_point(
+                    spec, (ext[0], ext[1], ext[2]), float(v), capacities, contention
+                )
+        surfaces.append(
+            LatencySurface(service=spec.name, axis=axis, pressures=p_grid, loads=v_grid, values=z)
+        )
+    return SurfaceSet(
+        service=spec.name,
+        surfaces=(surfaces[0], surfaces[1], surfaces[2]),
+        solo_latency=spec.exec_time,
+        alpha=expected_platform_overhead(spec, cfg),
+    )
+
+
+def measured_surface(
+    spec: MicroserviceSpec,
+    axis: int,
+    pressures,
+    loads,
+    node: Optional[NodeSpec] = None,
+    contention: Optional[ContentionConfig] = None,
+    cfg: Optional[ServerlessConfig] = None,
+    duration: float = 120.0,
+    seed: int = 11,
+) -> LatencySurface:
+    """One surface by mini-simulation (paper's co-location profiling).
+
+    For each (pressure, load) cell, a fresh platform runs the service at
+    Poisson ``load`` with a standing background demand injected on
+    ``axis``; the cell value is the mean *execution-stage* latency (the
+    pool's ``exec`` breakdown), matching the analytic surfaces'
+    exclusion of queueing and overheads.
+    """
+    from repro.serverless.platform import ServerlessPlatform
+    from repro.sim.environment import Environment
+    from repro.sim.rng import RngRegistry
+    from repro.telemetry import ServiceMetrics
+    from repro.workloads.loadgen import LoadGenerator, Query
+    from repro.workloads.traces import ConstantTrace
+
+    node = node if node is not None else NodeSpec(name="profiling")
+    contention = contention if contention is not None else ContentionConfig()
+    cfg = cfg if cfg is not None else ServerlessConfig()
+    capacities = (node.cores, node.disk_mbps, node.net_mbps)
+    p_grid = np.asarray(pressures, dtype=float)
+    v_grid = np.asarray(loads, dtype=float)
+    from repro.cluster.resource_model import DemandVector
+
+    z = np.empty((p_grid.size, v_grid.size))
+    for i, p in enumerate(p_grid):
+        for j, v in enumerate(v_grid):
+            env = Environment()
+            rng = RngRegistry(seed=seed + 101 * i + j)
+            platform = ServerlessPlatform(env, rng, node=node, config=cfg, contention=contention)
+            metrics = ServiceMetrics(spec.name, spec.qos_target)
+            platform.register(spec, metrics=metrics)
+            background = DemandVector(
+                cpu=capacities[0] * p if axis == 0 else 0.0,
+                io_mbps=capacities[1] * p if axis == 1 else 0.0,
+                net_mbps=capacities[2] * p if axis == 2 else 0.0,
+            )
+            platform.machine.inject_background(background)
+            exec_times: list[float] = []
+
+            def sink(q: Query, exec_times=exec_times):
+                pass
+
+            if v > 0:
+                collected: list[Query] = []
+
+                def submit(q: Query, platform=platform):
+                    platform.invoke(q)
+
+                LoadGenerator(env, spec.name, ConstantTrace(float(v)), submit, rng)
+                env.run(until=duration)
+                mean_exec = metrics.breakdown_sums["exec"] / max(metrics.completed, 1)
+            else:
+                # a few solo queries
+                def solo(env=env, platform=platform):
+                    for k in range(10):
+                        q = Query(qid=k, service=spec.name, t_submit=env.now)
+                        platform.invoke(q)
+                        yield env.timeout(2.0)
+
+                env.process(solo())
+                env.run(until=40.0)
+                mean_exec = metrics.breakdown_sums["exec"] / max(metrics.completed, 1)
+            z[i, j] = max(mean_exec, 1e-6)
+    # iron sampling noise into monotone-in-pressure curves
+    z = np.maximum.accumulate(z, axis=0)
+    return LatencySurface(service=spec.name, axis=axis, pressures=p_grid, loads=v_grid, values=z)

@@ -1,0 +1,34 @@
+"""Evaluation harness: the paper's §II investigation and §VII evaluation.
+
+* :mod:`repro.experiments.scenarios` — the standard experiment setups
+  (per-benchmark diurnal runs with the three low-peak background
+  services, concurrency thresholds, compressed day).
+* :mod:`repro.experiments.runner` — end-to-end runs of Amoeba (and its
+  NoM/NoP variants), pure-IaaS Nameko and pure-serverless OpenWhisk.
+* :mod:`repro.experiments.metrics` — derived measurements: normalized
+  usage, latency CDFs, peak-load search, discriminant-error analysis.
+* :mod:`repro.experiments.figures` — one regenerator per paper table /
+  figure (``fig2`` … ``fig16``, ``sec7e``), each returning a structured
+  result and a text rendering.
+* :mod:`repro.experiments.report` — plain-text table renderer.
+"""
+
+from repro.experiments.runner import (
+    RunResult,
+    ServiceResult,
+    run_amoeba,
+    run_nameko,
+    run_openwhisk,
+)
+from repro.experiments.scenarios import Scenario, concurrency_threshold, default_scenario
+
+__all__ = [
+    "RunResult",
+    "Scenario",
+    "ServiceResult",
+    "concurrency_threshold",
+    "default_scenario",
+    "run_amoeba",
+    "run_nameko",
+    "run_openwhisk",
+]

@@ -1,0 +1,102 @@
+"""Command-line figure regeneration.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig11
+    python -m repro.experiments fig12 --day 2400 --seed 3
+    python -m repro.experiments all          # everything (slow)
+
+Each target prints the regenerated table; heavy diurnal runs are cached
+within one invocation, so ``all`` shares work across figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import figures as F
+from repro.experiments import ablations as A
+
+
+def _portfolio(**kw):
+    from repro.experiments.portfolio import portfolio_figure
+
+    return portfolio_figure(**kw)
+
+#: target name -> (callable, accepts day/seed kwargs)
+TARGETS = {
+    "table2": (lambda **kw: F.table2_setup(), False),
+    "table3": (lambda **kw: F.table3_benchmarks(), False),
+    "fig2": (F.fig2_iaas_utilization, True),
+    "fig3": (lambda **kw: F.fig3_peak_loads(seed=kw.get("seed", 0)), False),
+    "fig4": (lambda **kw: F.fig4_latency_breakdown(seed=kw.get("seed", 0)), False),
+    "fig8": (lambda **kw: F.fig8_meter_curves(seed=kw.get("seed", 7)), False),
+    "fig9": (lambda **kw: F.fig9_latency_surfaces(seed=kw.get("seed", 11)), False),
+    "fig10": (F.fig10_latency_cdf, True),
+    "fig11": (F.fig11_resource_usage, True),
+    "fig12": (F.fig12_switch_timeline, True),
+    "fig13": (F.fig13_usage_timeline, True),
+    "fig14": (F.fig14_nom_ablation, True),
+    "fig15": (F.fig15_discriminant_error, True),
+    "fig16": (F.fig16_nop_violations, True),
+    "sec7e": (F.sec7e_meter_overhead, True),
+    "cost": (F.cost_comparison, True),
+    "portfolio": (_portfolio, True),
+    "abl-guard": (A.ablate_guard, True),
+    "abl-period": (A.ablate_sample_period, True),
+    "abl-discriminant": (A.ablate_discriminant, True),
+    "abl-keepalive": (A.ablate_keep_alive, True),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="regenerate the paper's tables and figures",
+    )
+    parser.add_argument("target", help="figure id, 'list', or 'all'")
+    parser.add_argument("--day", type=float, default=F.FIG_DAY,
+                        help="compressed-day length in simulated seconds")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--export", metavar="DIR", default=None,
+                        help="also write <target>.csv and <target>.json to DIR")
+    args = parser.parse_args(argv)
+
+    if args.target == "list":
+        for name in TARGETS:
+            print(name)
+        return 0
+
+    names = list(TARGETS) if args.target == "all" else [args.target]
+    unknown = [n for n in names if n not in TARGETS]
+    if unknown:
+        print(f"unknown target(s) {unknown}; try 'list'", file=sys.stderr)
+        return 2
+
+    for name in names:
+        fn, takes_day = TARGETS[name]
+        t0 = time.time()
+        kwargs = {"seed": args.seed}
+        if takes_day:
+            kwargs["day"] = args.day
+        result = fn(**kwargs)
+        print(result.text())
+        if args.export:
+            from pathlib import Path
+
+            from repro.experiments.export import figure_to_csv, figure_to_json
+
+            out = Path(args.export)
+            out.mkdir(parents=True, exist_ok=True)
+            figure_to_csv(result, out / f"{name}.csv")
+            figure_to_json(result, out / f"{name}.json")
+            print(f"[exported to {out / name}.{{csv,json}}]")
+        print(f"[{name}: {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,126 @@
+"""Export regenerated figures to JSON / CSV, plus ASCII timeline plots.
+
+``FigureResult`` rows become CSV; the full object (rows + serializable
+extras) becomes JSON, so downstream plotting (matplotlib, gnuplot, a
+spreadsheet) can regenerate the paper's graphics from committed data.
+The ASCII renderers give the Fig. 12/13 timelines a terminal-native form
+— the benches print them so the mode-switch story is visible without any
+plotting stack.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.report import FigureResult
+
+__all__ = [
+    "ascii_mode_timeline",
+    "ascii_series",
+    "figure_to_csv",
+    "figure_to_json",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of extras to JSON-serializable structures."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)  # profiles/surfaces etc.: keep a readable stub
+
+
+def figure_to_csv(result: FigureResult, path) -> Path:
+    """Write the figure's rows as CSV with a header line."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(result.headers)
+        writer.writerows(result.rows)
+    return path
+
+
+def figure_to_json(result: FigureResult, path) -> Path:
+    """Write the whole figure (rows, notes, extras) as JSON."""
+    path = Path(path)
+    payload = {
+        "figure": result.figure,
+        "title": result.title,
+        "headers": result.headers,
+        "rows": _jsonable(result.rows),
+        "notes": result.notes,
+        "extras": _jsonable(result.extras),
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def ascii_series(
+    grid: Sequence[float],
+    values: Sequence[float],
+    width: int = 72,
+    height: int = 10,
+    label: str = "",
+) -> str:
+    """A terminal line plot of one series (Fig. 13's usage curves)."""
+    g = np.asarray(grid, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if g.size != v.size or g.size < 2:
+        raise ValueError("need matching grids with >= 2 points")
+    if width < 10 or height < 3:
+        raise ValueError("plot too small to be legible")
+    # resample onto the character grid
+    xs = np.linspace(g[0], g[-1], width)
+    ys = np.interp(xs, g, v)
+    v_max = float(ys.max())
+    v_min = float(min(ys.min(), 0.0))
+    span = (v_max - v_min) or 1.0
+    rows = [[" "] * width for _ in range(height)]
+    for col, y in enumerate(ys):
+        level = int(round((y - v_min) / span * (height - 1)))
+        rows[height - 1 - level][col] = "*"
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(f"{v_max:10.2f} ┤" + "".join(rows[0]))
+    for row in rows[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{v_min:10.2f} ┤" + "".join(rows[-1]))
+    lines.append(" " * 12 + f"t={g[0]:.0f}s" + " " * max(width - 20, 1) + f"t={g[-1]:.0f}s")
+    return "\n".join(lines)
+
+
+def ascii_mode_timeline(
+    mode_timeline: List[Tuple[float, str]],
+    duration: float,
+    width: int = 72,
+    label: str = "",
+) -> str:
+    """Fig. 12 as a character strip: '▆' = IaaS, '░' = serverless."""
+    if not mode_timeline:
+        raise ValueError("empty mode timeline")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    chars = []
+    for col in range(width):
+        t = (col + 0.5) / width * duration
+        mode = mode_timeline[0][1]
+        for ts, m in mode_timeline:
+            if ts > t:
+                break
+            mode = m
+        chars.append("▆" if mode == "iaas" else "░")
+    head = f"{label} " if label else ""
+    return f"{head}|{''.join(chars)}|  (▆ IaaS, ░ serverless)"

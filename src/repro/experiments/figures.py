@@ -1,0 +1,619 @@
+"""One regenerator per paper figure/table (DESIGN.md §4's experiment index).
+
+Each ``figN_*`` function runs the experiment behind that figure and
+returns a :class:`~repro.experiments.report.FigureResult` whose rows are
+the same quantities the paper plots.  Heavy diurnal runs are shared
+through a per-process cache (``run_triple``), so regenerating Figs. 10–13
+costs one set of runs, not four.
+
+Everything here is deterministic given (seed, day).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.meters import AXIS_METERS, profile_meter, profile_meter_measured
+from repro.core.surfaces import build_surface_set, measured_surface
+from repro.experiments.metrics import (
+    latency_cdf,
+    peak_load_iaas,
+    peak_load_serverless,
+)
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import RunResult, run_amoeba, run_nameko, run_openwhisk
+from repro.experiments.scenarios import (
+    PEAK_RATES,
+    Scenario,
+    default_scenario,
+)
+from repro.cluster.spec import NodeSpec
+from repro.iaas.platform import IaaSPlatform
+from repro.iaas.sizing import size_service
+from repro.serverless.platform import ServerlessPlatform
+from repro.sim.environment import Environment
+from repro.sim.rng import RngRegistry
+from repro.telemetry import ServiceMetrics
+from repro.workloads.functionbench import benchmark, benchmark_names
+from repro.workloads.loadgen import LoadGenerator
+from repro.workloads.traces import ConstantTrace, DiurnalTrace
+
+__all__ = [
+    "cost_comparison",
+    "fig2_iaas_utilization",
+    "fig3_peak_loads",
+    "fig4_latency_breakdown",
+    "fig8_meter_curves",
+    "fig9_latency_surfaces",
+    "fig10_latency_cdf",
+    "fig11_resource_usage",
+    "fig12_switch_timeline",
+    "fig13_usage_timeline",
+    "fig14_nom_ablation",
+    "fig15_discriminant_error",
+    "fig16_nop_violations",
+    "run_triple",
+    "sec7e_meter_overhead",
+    "table2_setup",
+    "table3_benchmarks",
+]
+
+#: default compressed-day length for the figure runs, seconds
+FIG_DAY = 3600.0
+
+# ---------------------------------------------------------------------------
+# shared diurnal runs (Figs. 10-14, 16 reuse these)
+# ---------------------------------------------------------------------------
+
+_TRIPLE_CACHE: Dict[Tuple[str, float, int], Tuple[Scenario, Dict[str, RunResult]]] = {}
+
+
+def run_triple(
+    name: str, day: float = FIG_DAY, seed: int = 0, systems: Tuple[str, ...] = ()
+) -> Tuple[Scenario, Dict[str, RunResult]]:
+    """The §VII scenario for ``name`` run under the requested systems.
+
+    ``systems`` ⊆ {"amoeba", "nameko", "openwhisk", "nom", "nop"}; empty
+    means the three headline systems.  Results are cached per process so
+    successive figures share runs.
+    """
+    wanted = systems if systems else ("amoeba", "nameko", "openwhisk")
+    key = (name, day, seed)
+    scenario, results = _TRIPLE_CACHE.setdefault(
+        key, (default_scenario(name, day=day, seed=seed), {})
+    )
+    for system in wanted:
+        if system in results:
+            continue
+        if system == "amoeba":
+            results[system] = run_amoeba(scenario)
+        elif system == "nameko":
+            results[system] = run_nameko(scenario)
+        elif system == "openwhisk":
+            results[system] = run_openwhisk(scenario)
+        elif system == "nom":
+            results[system] = run_amoeba(scenario, variant="nom")
+        elif system == "nop":
+            results[system] = run_amoeba(scenario, variant="nop")
+        else:
+            raise ValueError(f"unknown system {system!r}")
+    return scenario, results
+
+
+# ---------------------------------------------------------------------------
+# SII investigation figures
+# ---------------------------------------------------------------------------
+
+
+def fig2_iaas_utilization(
+    day: float = FIG_DAY, seed: int = 0, windows: int = 48
+) -> FigureResult:
+    """Fig. 2: min/avg/max windowed CPU utilization under just-enough IaaS."""
+    rows = []
+    extras: Dict[str, np.ndarray] = {}
+    for name in benchmark_names():
+        spec = benchmark(name)
+        env = Environment()
+        rng = RngRegistry(seed=seed)
+        platform = IaaSPlatform(env, rng)
+        metrics = ServiceMetrics(name, spec.qos_target)
+        svc = platform.deploy(spec, peak_rate=PEAK_RATES[name], metrics=metrics)
+        trace = DiurnalTrace(peak_rate=PEAK_RATES[name], seed=seed + 7, day=day)
+        LoadGenerator(env, name, trace, platform.invoke, rng)
+        rented = svc.sizing.rented_cores
+        utils = []
+        prev_integral = 0.0
+        dt = day / windows
+        for w in range(1, windows + 1):
+            env.run(until=w * dt)
+            integral = svc.machine.cpu_in_use.integral(env.now)
+            utils.append((integral - prev_integral) / (dt * rented))
+            prev_integral = integral
+        u = np.asarray(utils)
+        extras[name] = u
+        rows.append([name, float(u.min()), float(u.mean()), float(u.max())])
+    return FigureResult(
+        figure="Fig. 2",
+        title="CPU utilization of the benchmarks with IaaS-based deployment",
+        headers=["benchmark", "lowest", "average", "highest"],
+        rows=rows,
+        notes="paper: lowest 2.6-15.1%, average 13.6-70.9%, highest 24.1-95.1%",
+        extras={"window_utilizations": extras},
+    )
+
+
+def fig3_peak_loads(duration: float = 300.0, seed: int = 0) -> FigureResult:
+    """Fig. 3: serverless peak load normalized to IaaS, same resources.
+
+    "Same resources" = the serverless side gets exactly as many
+    concurrent execution slots (containers) as the just-enough IaaS
+    rental has worker slots; the gap that remains is the per-query
+    platform overhead — the paper's explanation for the 73.9–89.2% band.
+    """
+    rows = []
+    extras = {}
+    for name in benchmark_names():
+        spec = benchmark(name)
+        sized_for = PEAK_RATES[name]
+        sizing = size_service(spec, sized_for)
+        iaas_peak = peak_load_iaas(spec, sized_for=sized_for, duration=duration, seed=seed)
+        # "same amount of resources": a serverless slice exactly the size
+        # of the IaaS rental, with as many container slots as it had workers
+        k, flavor = sizing.vm_count, sizing.flavor
+        slice_node = NodeSpec(
+            name="fig3-slice",
+            cores=max(int(round(k * flavor.cores)), 1),
+            memory_mb=k * flavor.memory_mb,
+            disk_mbps=k * flavor.io_mbps,
+            net_mbps=k * flavor.net_mbps,
+        )
+        sls_peak = peak_load_serverless(
+            spec, limit=sizing.workers, duration=duration, seed=seed, node=slice_node
+        )
+        ratio = sls_peak / iaas_peak if iaas_peak > 0 else float("nan")
+        extras[name] = {"iaas_peak": iaas_peak, "serverless_peak": sls_peak}
+        rows.append([name, iaas_peak, sls_peak, ratio])
+    return FigureResult(
+        figure="Fig. 3",
+        title="achievable serverless peak load normalized to IaaS (same resources)",
+        headers=["benchmark", "iaas peak (qps)", "serverless peak (qps)", "ratio"],
+        rows=rows,
+        notes="paper: ratios 0.739-0.892",
+        extras=extras,
+    )
+
+
+def fig4_latency_breakdown(duration: float = 400.0, seed: int = 0) -> FigureResult:
+    """Fig. 4: per-stage latency share on serverless (warm, unqueued).
+
+    The paper excludes queueing and cold start here; we run each
+    benchmark at a gentle rate with prewarmed containers and report the
+    processing / code-loading / execution / result-posting split.
+    """
+    rows = []
+    extras = {}
+    for name in benchmark_names():
+        spec = benchmark(name)
+        env = Environment()
+        rng = RngRegistry(seed=seed)
+        platform = ServerlessPlatform(env, rng)
+        metrics = ServiceMetrics(name, spec.qos_target)
+        platform.register(spec, metrics=metrics)
+        platform.prewarm(name, 4)
+        rate = 0.25 * PEAK_RATES[name]
+        LoadGenerator(env, name, ConstantTrace(rate), platform.invoke, rng)
+        env.run(until=duration)
+        sums = metrics.breakdown_sums
+        core = sums["proc"] + sums["load"] + sums["exec"] + sums["post"]
+        frac = {k: sums[k] / core for k in ("proc", "load", "exec", "post")}
+        overhead = frac["proc"] + frac["load"] + frac["post"]
+        extras[name] = frac
+        rows.append([name, frac["proc"], frac["load"], frac["exec"], frac["post"], overhead])
+    return FigureResult(
+        figure="Fig. 4",
+        title="latency breakdown of serverless queries (queueing/cold start excluded)",
+        headers=["benchmark", "processing", "code load", "execution", "result post", "overhead total"],
+        rows=rows,
+        notes="paper: extra overheads take 10-45% of end-to-end latency",
+        extras=extras,
+    )
+
+
+# ---------------------------------------------------------------------------
+# SIV/SVI profiling figures
+# ---------------------------------------------------------------------------
+
+
+def fig8_meter_curves(points: int = 7, queries_per_point: int = 50, seed: int = 7) -> FigureResult:
+    """Fig. 8: meter latency vs. pressure, measured and analytic."""
+    rows = []
+    extras = {}
+    for name in AXIS_METERS:
+        measured = profile_meter_measured(
+            name, points=points, queries_per_point=queries_per_point, seed=seed
+        )
+        analytic = profile_meter(name, points=points)
+        extras[name] = {"measured": measured, "analytic": analytic}
+        for p, lm in zip(measured.pressures, measured.latencies):
+            la = analytic.latency(float(p))
+            rows.append([name, float(p), float(lm), la, abs(lm - la) / la])
+    return FigureResult(
+        figure="Fig. 8",
+        title="contention-meter latency vs. pressure (measured vs. analytic)",
+        headers=["meter", "pressure", "measured (s)", "analytic (s)", "rel diff"],
+        rows=rows,
+        notes="curves are monotone; inversion of the measured curve is the measurement step",
+        extras=extras,
+    )
+
+
+def fig9_latency_surfaces(
+    service: str = "dd",
+    pressures: Tuple[float, ...] = (0.0, 0.5, 1.0, 1.4),
+    load_fractions: Tuple[float, ...] = (0.0, 0.3, 0.6),
+    duration: float = 90.0,
+    seed: int = 11,
+) -> FigureResult:
+    """Fig. 9: an example microservice's latency surfaces (3 axes)."""
+    spec = benchmark(service)
+    loads = tuple(f * PEAK_RATES[service] for f in load_fractions)
+    analytic = build_surface_set(spec)
+    rows = []
+    extras = {"analytic": analytic, "measured": {}}
+    for axis, axis_name in enumerate(("cpu", "io", "net")):
+        surf = measured_surface(
+            spec, axis, pressures, loads, duration=duration, seed=seed
+        )
+        extras["measured"][axis_name] = surf
+        for i, p in enumerate(pressures):
+            for j, v in enumerate(loads):
+                measured_val = float(surf.values[i, j])
+                analytic_val = analytic.surfaces[axis].predict(float(p), float(v))
+                rows.append([service, axis_name, float(p), float(v), measured_val, analytic_val])
+    return FigureResult(
+        figure="Fig. 9",
+        title=f"latency surfaces of {service}: service latency over (pressure, load)",
+        headers=["service", "axis", "pressure", "load (qps)", "measured (s)", "analytic (s)"],
+        rows=rows,
+        notes="latency grows with the pressure on axes the service is sensitive to",
+        extras=extras,
+    )
+
+
+# ---------------------------------------------------------------------------
+# SVII evaluation figures
+# ---------------------------------------------------------------------------
+
+
+def fig10_latency_cdf(day: float = FIG_DAY, seed: int = 0) -> FigureResult:
+    """Fig. 10: latency CDFs normalized to QoS for the three systems."""
+    rows = []
+    extras = {}
+    for name in benchmark_names():
+        scenario, results = run_triple(name, day=day, seed=seed)
+        per_system = {}
+        for system in ("amoeba", "nameko", "openwhisk"):
+            fg = results[system].foreground(scenario)
+            lat = fg.metrics.latencies.values()
+            x, f = latency_cdf(lat, scenario.foreground.qos_target)
+            p95_ratio = fg.metrics.exact_percentile(95) / scenario.foreground.qos_target
+            per_system[system] = {
+                "cdf": (x, f),
+                "p95_ratio": p95_ratio,
+                "violation_fraction": fg.metrics.violation_fraction,
+            }
+            rows.append(
+                [name, system, p95_ratio, fg.metrics.violation_fraction, p95_ratio <= 1.0]
+            )
+        extras[name] = per_system
+    return FigureResult(
+        figure="Fig. 10",
+        title="95%-ile latency / QoS target per system (CDFs in extras)",
+        headers=["benchmark", "system", "p95 / QoS", "violation frac", "meets QoS"],
+        rows=rows,
+        notes="paper: Amoeba+Nameko meet QoS everywhere; OpenWhisk violates matmul/dd/cloud_stor",
+        extras=extras,
+    )
+
+
+def fig11_resource_usage(day: float = FIG_DAY, seed: int = 0) -> FigureResult:
+    """Fig. 11: Amoeba's CPU/memory usage normalized to Nameko."""
+    rows = []
+    extras = {}
+    for name in benchmark_names():
+        scenario, results = run_triple(name, day=day, seed=seed, systems=("amoeba", "nameko"))
+        fa = results["amoeba"].foreground(scenario)
+        fn = results["nameko"].foreground(scenario)
+        cpu_ratio, mem_ratio = fa.usage.normalized_to(fn.usage)
+        extras[name] = {"cpu_ratio": cpu_ratio, "mem_ratio": mem_ratio}
+        rows.append([name, cpu_ratio, mem_ratio, 1 - cpu_ratio, 1 - mem_ratio])
+    return FigureResult(
+        figure="Fig. 11",
+        title="normalized resource usage of Amoeba vs. Nameko",
+        headers=["benchmark", "cpu ratio", "mem ratio", "cpu reduction", "mem reduction"],
+        rows=rows,
+        notes="paper: CPU reduced 29.1-72.9%, memory reduced 30.2-84.9%",
+        extras=extras,
+    )
+
+
+def fig12_switch_timeline(
+    services: Tuple[str, ...] = ("float", "dd"), day: float = FIG_DAY, seed: int = 0
+) -> FigureResult:
+    """Fig. 12: deploy-mode switch timeline with the switch-load markers."""
+    rows = []
+    extras = {}
+    for name in services:
+        scenario, results = run_triple(name, day=day, seed=seed, systems=("amoeba",))
+        fg = results["amoeba"].foreground(scenario)
+        grid = np.linspace(0, scenario.duration, 240)
+        load_curve = np.array([scenario.trace.rate(float(t)) for t in grid])
+        extras[name] = {
+            "mode_timeline": fg.mode_timeline,
+            "switch_events": fg.switch_events,
+            "load_grid": (grid, load_curve),
+        }
+        for t, direction, load in fg.switch_events:
+            rows.append([name, t, direction, load])
+    in_loads = [r[3] for r in rows if r[2] == "serverless"]
+    out_loads = [r[3] for r in rows if r[2] == "iaas"]
+    notes = "paper: switch loads are not identical across directions/times"
+    if in_loads and out_loads:
+        notes += (
+            f" | mean switch-in load {np.mean(in_loads):.2f} qps,"
+            f" mean switch-out load {np.mean(out_loads):.2f} qps"
+        )
+    return FigureResult(
+        figure="Fig. 12",
+        title="timeline of deploy-mode switches (stars = switch loads)",
+        headers=["benchmark", "time (s)", "switch to", "load (qps)"],
+        rows=rows,
+        notes=notes,
+        extras=extras,
+    )
+
+
+def fig13_usage_timeline(
+    services: Tuple[str, ...] = ("float", "dd"), day: float = FIG_DAY, seed: int = 0, points: int = 160
+) -> FigureResult:
+    """Fig. 13: resource-usage timelines under Amoeba (abrupt vs. smooth)."""
+    rows = []
+    extras = {}
+    for name in services:
+        scenario, results = run_triple(name, day=day, seed=seed, systems=("amoeba",))
+        fg = results["amoeba"].foreground(scenario)
+        grid = np.linspace(0, scenario.duration, points)
+        cpu = fg.cpu_usage_on_grid(grid)
+        mem = fg.mem_usage_on_grid(grid)
+        jumps = np.abs(np.diff(cpu))
+        scale = max(cpu.max(), 1e-9)
+        extras[name] = {"grid": grid, "cpu": cpu, "mem": mem}
+        rows.append(
+            [name, float(cpu.mean()), float(cpu.max()), float(mem.mean()), float(mem.max()), float(jumps.max() / scale)]
+        )
+    return FigureResult(
+        figure="Fig. 13",
+        title="resource usage timeline under Amoeba (series in extras)",
+        headers=["benchmark", "cpu mean", "cpu max", "mem mean (MB)", "mem max (MB)", "max step / max"],
+        rows=rows,
+        notes="paper: tight-QoS services change abruptly (float), others smoothly (dd)",
+        extras=extras,
+    )
+
+
+def fig14_nom_ablation(day: float = FIG_DAY, seed: int = 0) -> FigureResult:
+    """Fig. 14: resource usage of Amoeba vs. Amoeba-NoM (vs. Nameko)."""
+    rows = []
+    extras = {}
+    for name in benchmark_names():
+        scenario, results = run_triple(
+            name, day=day, seed=seed, systems=("amoeba", "nameko", "nom")
+        )
+        fn = results["nameko"].foreground(scenario)
+        fa = results["amoeba"].foreground(scenario)
+        fm = results["nom"].foreground(scenario)
+        a_cpu, a_mem = fa.usage.normalized_to(fn.usage)
+        m_cpu, m_mem = fm.usage.normalized_to(fn.usage)
+        extras[name] = {
+            "amoeba": (a_cpu, a_mem),
+            "nom": (m_cpu, m_mem),
+            "nom_over_amoeba": (m_cpu / a_cpu, m_mem / a_mem),
+        }
+        rows.append([name, a_cpu, m_cpu, m_cpu / a_cpu, a_mem, m_mem, m_mem / a_mem])
+    return FigureResult(
+        figure="Fig. 14",
+        title="normalized usage: Amoeba vs. Amoeba-NoM (baseline Nameko)",
+        headers=["benchmark", "cpu amoeba", "cpu nom", "cpu nom/amoeba", "mem amoeba", "mem nom", "mem nom/amoeba"],
+        rows=rows,
+        notes="paper: NoM uses up to 1.77x CPU and 2.38x memory of Amoeba",
+        extras=extras,
+    )
+
+
+def fig15_discriminant_error(
+    day: float = FIG_DAY, seed: int = 0, duration: float = 240.0
+) -> FigureResult:
+    """Fig. 15: error of the discriminant λ(μ) vs. the enumerated λ_real.
+
+    λ_real: bisection on the shared serverless platform with the
+    scenario's background services held at their mean rates.  λ(μ):
+    each variant's controller log, averaged over the settled second half
+    of the diurnal run.
+    """
+    rows = []
+    extras = {}
+    for name in benchmark_names():
+        scenario, results = run_triple(name, day=day, seed=seed, systems=("amoeba", "nom"))
+        background = tuple(
+            (bg_spec, bg_trace.mean_rate(0, scenario.duration), bg_limit)
+            for bg_spec, bg_trace, bg_limit in scenario.background
+        )
+        lam_real = peak_load_serverless(
+            scenario.foreground,
+            limit=scenario.limit,
+            duration=duration,
+            seed=seed,
+            background=background,
+            ambient_pressures=scenario.mean_ambient_pressures(),
+        )
+        per_variant = {}
+        for variant in ("amoeba", "nom"):
+            fg = results[variant].foreground(scenario)
+            # skip the calibration warm-up, then average over the full
+            # day so the ambient-pressure mix matches the λ_real probe's
+            # mean-pressure conditions
+            settled = [d.lambda_max for d in fg.decisions if d.time >= 0.15 * scenario.duration]
+            lam_pred = float(np.mean(settled)) if settled else float("nan")
+            err = abs(lam_pred - lam_real) / lam_real if lam_real > 0 else float("nan")
+            per_variant[variant] = {"lambda_pred": lam_pred, "error": err}
+            rows.append([name, variant, lam_real, lam_pred, err])
+        extras[name] = {"lambda_real": lam_real, **per_variant}
+    return FigureResult(
+        figure="Fig. 15",
+        title="average discriminant-function error vs. enumerated switch point",
+        headers=["benchmark", "variant", "lambda_real (qps)", "lambda_pred (qps)", "rel error"],
+        rows=rows,
+        notes="paper: Amoeba errors 2.8-8.3% vs. NoM 9.1-25.8%",
+        extras=extras,
+    )
+
+
+def fig16_nop_violations(day: float = FIG_DAY, seed: int = 0) -> FigureResult:
+    """Fig. 16: QoS violations without the prewarm module (Amoeba-NoP)."""
+    rows = []
+    extras = {}
+    for name in benchmark_names():
+        scenario, results = run_triple(name, day=day, seed=seed, systems=("amoeba", "nop"))
+        fa = results["amoeba"].foreground(scenario)
+        fp = results["nop"].foreground(scenario)
+        extras[name] = {
+            "amoeba": fa.metrics.violation_fraction,
+            "nop": fp.metrics.violation_fraction,
+        }
+        rows.append([name, fa.metrics.violation_fraction, fp.metrics.violation_fraction])
+    return FigureResult(
+        figure="Fig. 16",
+        title="QoS violation fraction: Amoeba vs. Amoeba-NoP",
+        headers=["benchmark", "amoeba violations", "nop violations"],
+        rows=rows,
+        notes="paper: 29.9-69.1% of queries violate QoS with Amoeba-NoP",
+        extras=extras,
+    )
+
+
+def sec7e_meter_overhead(day: float = FIG_DAY, seed: int = 0) -> FigureResult:
+    """§VII-E: CPU overhead of the contention meters at 1 QPS each."""
+    scenario, results = run_triple("float", day=day, seed=seed, systems=("amoeba",))
+    run = results["amoeba"]
+    rows = [[meter, overhead] for meter, overhead in sorted(run.meter_overheads.items())]
+    rows.append(["total", run.meter_overhead])
+    return FigureResult(
+        figure="SVII-E",
+        title="mean CPU overhead of the contention meters (fraction of the node)",
+        headers=["meter", "cpu overhead"],
+        rows=rows,
+        notes="paper: 1.1% / 0.5% / 0.6% per meter, <= 1.1% total when round-robined "
+        "(fractions of one worker's allocation; ours are of the whole 40-core node)",
+        extras={"overheads": run.meter_overheads},
+    )
+
+
+def cost_comparison(day: float = FIG_DAY, seed: int = 0) -> FigureResult:
+    """Maintainer-side dollar bill per system (extension; paper §I motivation).
+
+    Uses :mod:`repro.cluster.pricing`: IaaS bills rented core/GB-hours for
+    the whole uptime; serverless bills per invocation plus GB-seconds of
+    billed execution.  One compressed day, extrapolated to a 30-day month
+    of real time for readability.
+    """
+    from repro.cluster.pricing import PricingModel
+
+    pricing = PricingModel()
+    rows = []
+    extras = {}
+    # a compressed day stands for a real day: scale the bill accordingly
+    scale = (86400.0 / day) * 30.0
+    for name in benchmark_names():
+        scenario, results = run_triple(name, day=day, seed=seed)
+        baseline = None
+        for system in ("nameko", "amoeba", "openwhisk"):
+            fg = results[system].foreground(scenario)
+            bill = fg.cost(pricing)
+            if system == "nameko":
+                baseline = bill
+            ratio = bill.normalized_to(baseline) if baseline and baseline.total > 0 else float("nan")
+            extras[(name, system)] = bill
+            rows.append(
+                [
+                    name,
+                    system,
+                    bill.iaas_dollars * scale,
+                    bill.serverless_dollars * scale,
+                    bill.total * scale,
+                    ratio,
+                ]
+            )
+    return FigureResult(
+        figure="Cost",
+        title="maintainer bill per 30 days (extension)",
+        headers=["benchmark", "system", "iaas $", "serverless $", "total $", "vs nameko"],
+        rows=rows,
+        notes="IaaS bills the rental whether busy or not; serverless bills per use",
+        extras=extras,
+    )
+
+
+# ---------------------------------------------------------------------------
+# tables
+# ---------------------------------------------------------------------------
+
+
+def table2_setup() -> FigureResult:
+    """Table II: the hardware/software constants the simulation encodes."""
+    from repro.cluster.spec import CLUSTER_TABLE_II
+
+    node = CLUSTER_TABLE_II.serverless_node
+    rows = [
+        ["cores per node", node.cores],
+        ["DRAM per node (MB)", node.memory_mb],
+        ["NIC (MB/s)", node.net_mbps],
+        ["disk (MB/s)", node.disk_mbps],
+        ["container memory (MB)", CLUSTER_TABLE_II.container_memory_mb],
+        ["max containers by memory", CLUSTER_TABLE_II.max_containers_by_memory],
+    ]
+    return FigureResult(
+        figure="Table II",
+        title="hardware and software setup",
+        headers=["item", "value"],
+        rows=rows,
+        notes="Xeon 8163 40 cores / 256 GB / NVMe / 25 GbE; OpenWhisk + Nameko",
+    )
+
+
+def table3_benchmarks() -> FigureResult:
+    """Table III: the benchmark sensitivity matrix as concrete specs."""
+    rows = []
+    for name in benchmark_names():
+        s = benchmark(name)
+        rows.append(
+            [
+                name,
+                s.exec_time,
+                s.qos_target,
+                s.demand.cpu,
+                s.demand.io_mbps,
+                s.demand.net_mbps,
+                s.sensitivity.cpu,
+                s.sensitivity.io,
+                s.sensitivity.net,
+            ]
+        )
+    return FigureResult(
+        figure="Table III",
+        title="benchmark specs (exec time, QoS, demand, sensitivity)",
+        headers=["name", "exec (s)", "QoS (s)", "cpu", "io MB/s", "net MB/s", "s_cpu", "s_io", "s_net"],
+        rows=rows,
+        notes="sensitivity ordering follows the paper's Table III (high/medium/low/-)",
+    )

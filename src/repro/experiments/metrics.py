@@ -1,0 +1,169 @@
+"""Derived measurements used by the figure regenerators.
+
+* peak-load search (Fig. 3): the largest constant arrival rate a
+  deployment sustains while keeping its r-ile latency within QoS, by
+  bisection over short constant-rate simulations;
+* real switch-point enumeration (Fig. 15): the same search run on the
+  *shared* serverless platform with the scenario's background services
+  held at a fixed load — the paper's λ_real;
+* CDF extraction helpers for Fig. 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.resource_model import ContentionConfig, DemandVector
+from repro.cluster.spec import NodeSpec
+from repro.iaas.platform import IaaSPlatform
+from repro.serverless.config import ServerlessConfig
+from repro.serverless.platform import ServerlessPlatform
+from repro.sim.environment import Environment
+from repro.sim.rng import RngRegistry
+from repro.telemetry import ServiceMetrics
+from repro.workloads.functionbench import MicroserviceSpec
+from repro.workloads.loadgen import LoadGenerator
+from repro.workloads.traces import ConstantTrace
+
+__all__ = [
+    "latency_cdf",
+    "peak_load_iaas",
+    "peak_load_search",
+    "peak_load_serverless",
+]
+
+
+def latency_cdf(
+    latencies: np.ndarray, qos_target: float, grid_points: int = 200, x_max: float = 2.5
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(x, F(x)) with x = latency normalized to the QoS target (Fig. 10)."""
+    if qos_target <= 0:
+        raise ValueError("qos_target must be positive")
+    lat = np.sort(np.asarray(latencies, dtype=float)) / qos_target
+    x = np.linspace(0.0, x_max, grid_points)
+    f = np.searchsorted(lat, x, side="right") / max(lat.size, 1)
+    return x, f
+
+
+def _probe_ok(
+    build_and_run: Callable[[float], ServiceMetrics],
+    rate: float,
+    qos_target: float,
+    r_ile: float,
+) -> bool:
+    metrics = build_and_run(rate)
+    if metrics.completed < 50:
+        return False
+    return metrics.exact_percentile(100 * r_ile) <= qos_target
+
+
+def peak_load_search(
+    build_and_run: Callable[[float], ServiceMetrics],
+    qos_target: float,
+    lo: float = 0.5,
+    hi: float = 512.0,
+    r_ile: float = 0.95,
+    iterations: int = 9,
+) -> float:
+    """Largest sustained rate meeting the QoS, by geometric + binary search.
+
+    ``build_and_run(rate)`` must run a fresh deployment at constant
+    ``rate`` and return its metrics.
+    """
+    if not 0 < lo < hi:
+        raise ValueError("need 0 < lo < hi")
+    # grow lo to a failing hi
+    if not _probe_ok(build_and_run, lo, qos_target, r_ile):
+        return 0.0
+    rate = lo
+    while rate < hi and _probe_ok(build_and_run, rate * 2, qos_target, r_ile):
+        rate *= 2
+    good, bad = rate, min(rate * 2, hi)
+    for _ in range(iterations):
+        mid = 0.5 * (good + bad)
+        if _probe_ok(build_and_run, mid, qos_target, r_ile):
+            good = mid
+        else:
+            bad = mid
+    return good
+
+
+def peak_load_iaas(
+    spec: MicroserviceSpec,
+    sized_for: float,
+    duration: float = 400.0,
+    seed: int = 5,
+    contention: Optional[ContentionConfig] = None,
+) -> float:
+    """Peak sustainable load of a just-enough IaaS rental sized for ``sized_for``."""
+
+    def build_and_run(rate: float) -> ServiceMetrics:
+        env = Environment()
+        rng = RngRegistry(seed=seed)
+        platform = IaaSPlatform(env, rng, contention=contention)
+        metrics = ServiceMetrics(spec.name, spec.qos_target)
+        platform.deploy(spec, peak_rate=sized_for, metrics=metrics)
+        LoadGenerator(env, spec.name, ConstantTrace(rate), platform.invoke, rng)
+        env.run(until=duration)
+        return metrics
+
+    return peak_load_search(build_and_run, spec.qos_target)
+
+
+def peak_load_serverless(
+    spec: MicroserviceSpec,
+    limit: int,
+    duration: float = 400.0,
+    seed: int = 5,
+    cfg: Optional[ServerlessConfig] = None,
+    contention: Optional[ContentionConfig] = None,
+    background: Sequence[Tuple[MicroserviceSpec, float, int]] = (),
+    warmup: float = 60.0,
+    node: Optional[NodeSpec] = None,
+    ambient_pressures: Optional[Tuple[float, float, float]] = None,
+) -> float:
+    """Peak sustainable load on the serverless platform with ``limit`` containers.
+
+    ``background`` is a list of (spec, constant rate, limit) co-tenants
+    and ``ambient_pressures`` a standing per-axis pressure — both used by
+    the Fig. 15 λ_real enumeration; empty/None for Fig. 3's clean
+    same-resources comparison.  ``node`` confines the platform to a
+    specific hardware slice (Fig. 3's "same amount of resources").
+    """
+    if node is not None and cfg is None:
+        base = ServerlessConfig()
+        cfg = replace(base, pool_memory_mb=min(base.pool_memory_mb, node.memory_mb))
+
+    def build_and_run(rate: float) -> ServiceMetrics:
+        env = Environment()
+        rng = RngRegistry(seed=seed)
+        platform = ServerlessPlatform(env, rng, node=node, config=cfg, contention=contention)
+        if ambient_pressures is not None:
+            caps = platform.machine.capacity
+            platform.machine.inject_background(
+                DemandVector(
+                    cpu=ambient_pressures[0] * caps[0],
+                    io_mbps=ambient_pressures[1] * caps[1],
+                    net_mbps=ambient_pressures[2] * caps[2],
+                )
+            )
+        for bg_spec, bg_rate, bg_limit in background:
+            bg_metrics = ServiceMetrics(bg_spec.name, bg_spec.qos_target)
+            platform.register(bg_spec, metrics=bg_metrics, limit=bg_limit)
+            LoadGenerator(env, bg_spec.name, ConstantTrace(bg_rate), platform.invoke, rng)
+        metrics = ServiceMetrics(spec.name, spec.qos_target, seed=seed)
+        platform.register(spec, metrics=metrics, limit=limit)
+        # pre-warm the allowance so the probe measures steady state, not
+        # the cold-start transient
+        platform.prewarm(spec.name, limit)
+        LoadGenerator(env, spec.name, ConstantTrace(rate), platform.invoke, rng)
+        env.run(until=warmup)
+        steady = ServiceMetrics(spec.name, spec.qos_target, seed=seed)
+        platform.pool.state(spec.name).metrics = steady
+        env.run(until=duration)
+        return steady
+
+    return peak_load_search(build_and_run, spec.qos_target)

@@ -1,0 +1,65 @@
+"""Plain-text table rendering shared by the figure regenerators.
+
+Every figure/table regenerator returns a :class:`FigureResult`; its
+``text()`` is what the benches print, giving "the same rows/series the
+paper reports" in a terminal-friendly form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["FigureResult", "render_table"]
+
+
+def _fmt(value: Any, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+    floatfmt: str = ".3f",
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows = [[_fmt(v, floatfmt) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(h for h in headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass
+class FigureResult:
+    """One regenerated paper figure/table: rows plus raw extras."""
+
+    figure: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]]
+    notes: str = ""
+    #: raw arrays/series for callers that want more than the table
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def text(self, floatfmt: str = ".3f") -> str:
+        """The rendered table (plus notes)."""
+        out = render_table(self.headers, self.rows, title=f"{self.figure}: {self.title}", floatfmt=floatfmt)
+        if self.notes:
+            out += f"\n{self.notes}"
+        return out

@@ -1,0 +1,223 @@
+"""The paper's evaluation setups (§VII-A), in compressed simulated time.
+
+Each benchmark gets its own run: the benchmark as *foreground* with a
+diurnal trace whose peak is "high enough to arise transformation in the
+execution engine", plus the three *background* services the paper names
+(``float``, ``dd``, ``cloud_stor``) at a lower peak, phase-shifted so the
+contention the monitor sees keeps changing.
+
+Two modelling choices tie the scenario constants to the paper:
+
+* **Concurrency threshold.**  §I notes serverless platforms cap a
+  tenant's concurrent containers ("the concurrent request threshold …
+  restrict[s] the max peak load in the serverless platform").
+  :func:`concurrency_threshold` sizes that cap so the uncontended
+  serverless ceiling sits at a target fraction (default 80 %) of the
+  foreground's peak — which is what makes high load genuinely infeasible
+  on serverless and forces the engine to switch, as in Fig. 12.
+* **Compressed day.**  Traces replay one full diurnal cycle in 7200
+  simulated seconds (a 12× compression).  Controller dynamics depend on
+  the load shape and on dwell/sample periods, both of which stay well
+  below the compressed day's timescale; EXPERIMENTS.md discusses the
+  substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.core.meters import expected_platform_overhead
+from repro.core.queueing import max_arrival_rate
+from repro.serverless.config import ServerlessConfig
+from repro.workloads.functionbench import benchmark, benchmark_names
+from repro.workloads.functionbench import MicroserviceSpec
+from repro.workloads.traces import DiurnalTrace, Trace
+
+__all__ = [
+    "AMBIENT_PEAKS",
+    "BACKGROUND_PEAKS",
+    "DEFAULT_DAY",
+    "PEAK_RATES",
+    "SERVERLESS_FRACTIONS",
+    "Scenario",
+    "ambient_pressure_traces",
+    "background_services",
+    "concurrency_threshold",
+    "default_scenario",
+]
+
+#: foreground peak rates (queries/s) per benchmark — "high enough to
+#: arise transformation in an execution engine" (§VII-A)
+PEAK_RATES: Dict[str, float] = {
+    "float": 30.0,
+    "matmul": 12.0,
+    "linpack": 10.0,
+    "dd": 14.0,
+    "cloud_stor": 12.0,
+}
+
+#: background peaks: "a slight pressure with the diurnal pattern" (§VII-A)
+BACKGROUND_PEAKS: Dict[str, float] = {"float": 8.0, "dd": 5.0, "cloud_stor": 4.0}
+
+#: per-benchmark serverless ceiling as a fraction of the foreground peak.
+#: Fig. 10 shows pure OpenWhisk holding QoS for float/linpack but
+#: violating it for matmul/dd/cloud_stor; the concurrency threshold is
+#: what decides which side of that line a service falls on.
+SERVERLESS_FRACTIONS: Dict[str, float] = {
+    "float": 1.00,
+    "matmul": 0.85,
+    "linpack": 0.95,
+    "dd": 0.80,
+    "cloud_stor": 0.75,
+}
+
+#: compressed day length in simulated seconds
+DEFAULT_DAY = 7200.0
+
+
+def concurrency_threshold(
+    spec: MicroserviceSpec,
+    peak_rate: float,
+    fraction: float = 0.80,
+    cfg: Optional[ServerlessConfig] = None,
+    r: float = 0.95,
+) -> int:
+    """Container cap making the serverless ceiling ≈ ``fraction``·peak.
+
+    Uses the *uncontended* per-container capacity μ₀ = 1/(exec + α);
+    the smallest n whose Eq. 5 admissible rate reaches the target.
+    """
+    if peak_rate <= 0 or not 0.0 < fraction <= 2.0:
+        raise ValueError("peak_rate must be positive and fraction in (0, 2]")
+    cfg = cfg if cfg is not None else ServerlessConfig()
+    mu0 = 1.0 / (spec.exec_time + expected_platform_overhead(spec, cfg))
+    target = fraction * peak_rate
+    n = 1
+    while max_arrival_rate(mu0, n, spec.qos_target, r) < target:
+        n += 1
+        if n > 4096:
+            raise ValueError(f"{spec.name}: threshold search ran away (target {target} qps)")
+    return n
+
+
+def background_services(
+    day: float = DEFAULT_DAY, seed: int = 100, cfg: Optional[ServerlessConfig] = None
+) -> Tuple[Tuple[MicroserviceSpec, Trace, int], ...]:
+    """The three §VII-A background services: (spec, trace, limit) each.
+
+    Renamed ``bg_*`` so a foreground benchmark of the same kind can run
+    alongside.  Limits are generous (130 % of their own peak): the paper
+    chose background parameters that keep them healthy on serverless.
+    """
+    cfg = cfg if cfg is not None else ServerlessConfig()
+    out = []
+    for i, (name, peak) in enumerate(BACKGROUND_PEAKS.items()):
+        spec = replace(benchmark(name), name=f"bg_{name}")
+        trace = DiurnalTrace(
+            peak_rate=peak,
+            seed=seed + i,
+            phase=(0.15 + 0.3 * i) * day,
+            day=day,
+            noise_sigma=0.06,
+        )
+        limit = concurrency_threshold(spec, peak, fraction=1.3, cfg=cfg)
+        out.append((spec, trace, limit))
+    return tuple(out)
+
+
+#: peak ambient pressure per axis on the shared node (other tenants)
+AMBIENT_PEAKS: Dict[str, float] = {"cpu": 0.70, "io": 0.65, "net": 0.55}
+
+
+def ambient_pressure_traces(
+    day: float = DEFAULT_DAY, seed: int = 300
+) -> Tuple[Tuple[str, Trace], ...]:
+    """Per-axis diurnal pressure traces for the ambient tenants.
+
+    The ambient tenants' day is *anti-phased* to the foreground's (other
+    tenants peak when the benchmark is quiet — the situation that makes
+    hybrid deployment worthwhile at all), with the three axes co-peaking
+    within a few hours of each other.  Simultaneous multi-axis pressure
+    during the foreground's low-load window is exactly where the
+    "degradations accumulate" assumption (Amoeba-NoM) overshoots and
+    postpones profitable switch-ins (§VII-C / Fig. 14), while the
+    per-axis phase spread keeps the dominant contended resource changing
+    (§II-D).
+    """
+    out = []
+    for i, (axis, peak) in enumerate(AMBIENT_PEAKS.items()):
+        out.append(
+            (
+                axis,
+                DiurnalTrace(
+                    peak_rate=peak,
+                    low_fraction=0.25,
+                    seed=seed + i,
+                    phase=(0.52 + 0.1 * i) * day,
+                    day=day,
+                    noise_sigma=0.08,
+                ),
+            )
+        )
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One §VII run: a foreground benchmark plus the background mix."""
+
+    foreground: MicroserviceSpec
+    trace: Trace
+    limit: int
+    background: Tuple[Tuple[MicroserviceSpec, Trace, int], ...]
+    duration: float
+    seed: int
+    #: per-axis ambient-pressure traces for the shared node's other tenants
+    ambient: Tuple[Tuple[str, Trace], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.limit < 1:
+            raise ValueError(f"limit must be >= 1, got {self.limit}")
+
+    def mean_ambient_pressures(self) -> Tuple[float, float, float]:
+        """Time-averaged ambient pressure per axis over the run."""
+        out = {"cpu": 0.0, "io": 0.0, "net": 0.0}
+        for axis, trace in self.ambient:
+            out[axis] = trace.mean_rate(0.0, self.duration)
+        return (out["cpu"], out["io"], out["net"])
+
+
+def default_scenario(
+    name: str,
+    day: float = DEFAULT_DAY,
+    duration: Optional[float] = None,
+    seed: int = 0,
+    serverless_fraction: Optional[float] = None,
+    cfg: Optional[ServerlessConfig] = None,
+    with_background: bool = True,
+) -> Scenario:
+    """The standard §VII scenario for one benchmark."""
+    if name not in benchmark_names():
+        raise KeyError(f"unknown benchmark {name!r}")
+    cfg = cfg if cfg is not None else ServerlessConfig()
+    spec = benchmark(name)
+    peak = PEAK_RATES[name]
+    fraction = (
+        serverless_fraction if serverless_fraction is not None else SERVERLESS_FRACTIONS[name]
+    )
+    trace = DiurnalTrace(peak_rate=peak, seed=seed + 7, day=day, noise_sigma=0.05)
+    limit = concurrency_threshold(spec, peak, fraction=fraction, cfg=cfg)
+    background = background_services(day=day, seed=seed + 100, cfg=cfg) if with_background else ()
+    ambient = ambient_pressure_traces(day=day, seed=seed + 300) if with_background else ()
+    return Scenario(
+        foreground=spec,
+        trace=trace,
+        limit=limit,
+        background=background,
+        duration=duration if duration is not None else day,
+        seed=seed,
+        ambient=ambient,
+    )

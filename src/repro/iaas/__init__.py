@@ -1,0 +1,24 @@
+"""IaaS platform simulator (the paper's Nameko services in VMs).
+
+A service rents ``k`` identical VM flavors sized "just enough" for its
+peak load (paper §II-B) and keeps them up for its whole deployment — the
+rented cores and memory are occupied whether queries arrive or not, which
+is precisely the waste Fig. 2 quantifies.
+
+* :mod:`repro.iaas.vm` — the VM flavor (a fixed slice of the node) and
+  boot-time model.
+* :mod:`repro.iaas.sizing` — just-enough sizing: the smallest (k VMs,
+  n worker slots) whose predicted 95 %-ile latency at peak load meets
+  the QoS target, accounting for the service's *self*-contention inside
+  its own VMs.
+* :mod:`repro.iaas.service` — a deployed service: worker-slot FIFO,
+  contended execution, deploy/boot/drain/undeploy lifecycle.
+* :mod:`repro.iaas.platform` — facade for deploying many services.
+"""
+
+from repro.iaas.platform import IaaSPlatform
+from repro.iaas.service import IaaSService
+from repro.iaas.sizing import SizingResult, size_service
+from repro.iaas.vm import VMFlavor
+
+__all__ = ["IaaSPlatform", "IaaSService", "SizingResult", "VMFlavor", "size_service"]

@@ -1,0 +1,69 @@
+"""IaaS platform facade: deploy and route to many services.
+
+Unlike the serverless node, IaaS services do not share a machine model —
+each rental is an isolated slice (that isolation is what the maintainer
+pays for).  The facade handles sizing + construction and name-based
+routing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cluster.resource_model import ContentionConfig
+from repro.iaas.service import IaaSService
+from repro.iaas.sizing import size_service
+from repro.iaas.vm import VMFlavor
+from repro.sim.environment import Environment
+from repro.sim.rng import RngRegistry
+from repro.telemetry import ServiceMetrics
+from repro.workloads.functionbench import MicroserviceSpec
+from repro.workloads.loadgen import Query
+
+__all__ = ["IaaSPlatform"]
+
+
+class IaaSPlatform:
+    """All IaaS rentals in one experiment."""
+
+    def __init__(
+        self,
+        env: Environment,
+        rng: RngRegistry,
+        flavor: Optional[VMFlavor] = None,
+        contention: Optional[ContentionConfig] = None,
+    ):
+        self.env = env
+        self.rng = rng
+        self.flavor = flavor if flavor is not None else VMFlavor()
+        self.contention = contention if contention is not None else ContentionConfig()
+        self._services: Dict[str, IaaSService] = {}
+
+    def deploy(
+        self,
+        spec: MicroserviceSpec,
+        peak_rate: float,
+        metrics: Optional[ServiceMetrics] = None,
+        instant: bool = True,
+    ) -> IaaSService:
+        """Size just-enough for ``peak_rate``, build and boot the service."""
+        if spec.name in self._services:
+            raise ValueError(f"service {spec.name!r} already deployed")
+        sizing = size_service(spec, peak_rate, flavor=self.flavor, contention=self.contention)
+        svc = IaaSService(
+            self.env, spec, sizing, self.rng, metrics=metrics, contention=self.contention
+        )
+        svc.deploy(instant=instant)
+        self._services[spec.name] = svc
+        return svc
+
+    def service(self, name: str) -> IaaSService:
+        """Look up a deployed service."""
+        try:
+            return self._services[name]
+        except KeyError:
+            raise KeyError(f"service {name!r} not deployed") from None
+
+    def invoke(self, query: Query) -> None:
+        """Route one query to its service."""
+        self.service(query.service).invoke(query)

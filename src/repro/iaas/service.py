@@ -1,0 +1,174 @@
+"""A deployed IaaS service: rented VMs + worker-slot queueing.
+
+The service holds ``k`` flavors' worth of capacity in one
+:class:`~repro.cluster.resource_model.MachineModel` (perfect load
+balancing across its own VMs) and admits at most ``n`` concurrent queries
+through a FIFO :class:`~repro.sim.resources.Resource`.  The rented cores
+and memory hit the usage ledger for the VMs' entire uptime — that is the
+IaaS cost model the paper's Fig. 2/11 comparisons rest on.
+
+Lifecycle: ``deploy()`` boots the VMs (tens of seconds) and only then
+reports ready; ``undeploy()`` drains in-flight queries before releasing
+the rental (paper §V-B: "the IaaS platform releases the resources after
+all its allocated queries completed").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.cluster.accounting import UsageLedger
+from repro.cluster.resource_model import ContentionConfig, MachineModel
+from repro.iaas.sizing import RPC_OVERHEAD, SizingResult
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+from repro.sim.resources import Resource
+from repro.sim.rng import RngRegistry
+from repro.telemetry import ServiceMetrics
+from repro.workloads.functionbench import MicroserviceSpec
+from repro.workloads.loadgen import Query
+
+__all__ = ["IaaSService", "ServiceState"]
+
+
+class ServiceState(enum.Enum):
+    """Deployment lifecycle of an IaaS service."""
+
+    STOPPED = "stopped"
+    BOOTING = "booting"
+    RUNNING = "running"
+    DRAINING = "draining"
+
+
+class IaaSService:
+    """One microservice rented onto IaaS VMs."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: MicroserviceSpec,
+        sizing: SizingResult,
+        rng: RngRegistry,
+        metrics: Optional[ServiceMetrics] = None,
+        ledger: Optional[UsageLedger] = None,
+        contention: Optional[ContentionConfig] = None,
+    ):
+        self.env = env
+        self.spec = spec
+        self.sizing = sizing
+        self.rng = rng
+        self.metrics = metrics
+        self.ledger = ledger if ledger is not None else UsageLedger(env, f"iaas/{spec.name}")
+        flavor = sizing.flavor
+        k = sizing.vm_count
+        self.machine = MachineModel(
+            env,
+            cores=k * flavor.cores,
+            io_mbps=k * flavor.io_mbps,
+            net_mbps=k * flavor.net_mbps,
+            config=contention,
+        )
+        self.workers = Resource(env, capacity=sizing.workers)
+        self.state = ServiceState.STOPPED
+        self.in_flight = 0
+        self.completions = 0
+        self._drained: Optional[Event] = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def deploy(self, instant: bool = False) -> Event:
+        """Boot the VMs; the returned event fires when the service is ready.
+
+        ``instant=True`` skips the boot delay (used to stand the initial
+        deployment up at t=0, where the paper's services are already
+        running when the experiment begins).
+        """
+        if self.state is not ServiceState.STOPPED:
+            raise RuntimeError(f"deploy() in state {self.state}")
+        self.state = ServiceState.BOOTING
+        ready = self.env.event()
+        if instant:
+            self._finish_boot(ready)
+        else:
+            self.env.process(self._boot(ready))
+        return ready
+
+    def _boot(self, ready: Event):
+        flavor = self.sizing.flavor
+        boot = self.rng.lognormal_around(
+            f"vmboot/{self.spec.name}", flavor.boot_median, flavor.boot_sigma
+        )
+        yield self.env.timeout(boot)
+        self._finish_boot(ready)
+
+    def _finish_boot(self, ready: Event) -> None:
+        self.state = ServiceState.RUNNING
+        self.ledger.acquire(self.sizing.rented_cores, self.sizing.rented_memory_mb)
+        ready.succeed()
+
+    def undeploy(self) -> Event:
+        """Drain in-flight queries, then release the rental.
+
+        The returned event fires once the resources are actually freed.
+        """
+        if self.state is not ServiceState.RUNNING:
+            raise RuntimeError(f"undeploy() in state {self.state}")
+        self.state = ServiceState.DRAINING
+        done = self.env.event()
+        self._drained = done
+        self._maybe_release()
+        return done
+
+    def _maybe_release(self) -> None:
+        if self.state is ServiceState.DRAINING and self.in_flight == 0:
+            self.state = ServiceState.STOPPED
+            self.ledger.release(self.sizing.rented_cores, self.sizing.rented_memory_mb)
+            if self._drained is not None:
+                self._drained.succeed()
+                self._drained = None
+
+    # -- serving ----------------------------------------------------------------
+    def invoke(self, query: Query) -> None:
+        """Serve one query (open loop).
+
+        Accepted while RUNNING or DRAINING (a drain finishes the queries
+        already routed here; the engine stops routing new ones first).
+        """
+        if self.state in (ServiceState.STOPPED, ServiceState.BOOTING):
+            raise RuntimeError(f"invoke() while {self.spec.name} is {self.state.value}")
+        if self.metrics is not None:
+            self.metrics.record_arrival(self.env.now, canary=query.canary)
+        self.in_flight += 1
+        self.env.process(self._serve(query))
+
+    def _serve(self, query: Query):
+        spec = self.spec
+        # Nameko RPC dispatch overhead
+        yield self.env.timeout(RPC_OVERHEAD)
+        query.breakdown["proc"] = RPC_OVERHEAD
+        req = self.workers.request()
+        t_q = self.env.now
+        yield req
+        query.breakdown["queue"] = self.env.now - t_q
+        work = self.rng.lognormal_around(f"iaas-exec/{spec.name}", spec.exec_time, spec.exec_sigma)
+        exec_t = yield self.machine.execute(work, spec.demand, spec.sensitivity)
+        self.workers.release(req)
+        query.breakdown["exec"] = exec_t
+        query.t_complete = self.env.now
+        query.served_by = "iaas"
+        if self.metrics is not None:
+            self.metrics.record_completion(query)
+        self.completions += 1
+        self.in_flight -= 1
+        self._maybe_release()
+
+    # -- observability -------------------------------------------------------------
+    @property
+    def utilization_cpu(self) -> float:
+        """Instantaneous CPU pressure inside the rental."""
+        return self.machine.pressures()[0]
+
+    def mean_cpu_utilization(self) -> float:
+        """Time-averaged consumed-cores / rented-cores since t0."""
+        used = self.machine.cpu_in_use.mean(self.env.now)
+        return used / self.sizing.rented_cores if used == used else 0.0

@@ -1,0 +1,56 @@
+"""VM flavors: the rentable unit of the IaaS platform.
+
+A flavor is a fixed slice of a physical node: cores, memory, and the
+matching proportional slices of disk and network bandwidth (a 4-core
+flavor on a 40-core node gets a tenth of the node's NIC).  Boot times are
+tens of seconds — three orders of magnitude above a container cold start,
+which is why the hybrid engine boots VMs *before* flipping the route
+(§V-B) rather than on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.spec import NodeSpec
+
+__all__ = ["VMFlavor", "DEFAULT_FLAVOR"]
+
+
+@dataclass(frozen=True)
+class VMFlavor:
+    """One rentable VM shape."""
+
+    name: str = "c4.large"
+    cores: float = 4.0
+    memory_mb: float = 8 * 1024.0
+    io_mbps: float = 200.0
+    net_mbps: float = 312.5
+    #: VM boot time: lognormal median (s) and sigma
+    boot_median: float = 25.0
+    boot_sigma: float = 0.20
+
+    def __post_init__(self) -> None:
+        for attr in ("cores", "memory_mb", "io_mbps", "net_mbps", "boot_median"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+        if self.boot_sigma < 0:
+            raise ValueError("boot_sigma must be >= 0")
+
+    @classmethod
+    def slice_of(cls, node: NodeSpec, cores: float, name: str = "custom") -> "VMFlavor":
+        """A flavor that is ``cores`` worth of ``node``, bandwidth pro-rata."""
+        if cores <= 0 or cores > node.cores:
+            raise ValueError(f"cores must be in (0, {node.cores}], got {cores}")
+        frac = cores / node.cores
+        return cls(
+            name=name,
+            cores=cores,
+            memory_mb=node.memory_mb * frac,
+            io_mbps=node.disk_mbps * frac,
+            net_mbps=node.net_mbps * frac,
+        )
+
+
+#: the default rental unit: a 4-core slice of the Table II node
+DEFAULT_FLAVOR = VMFlavor()

@@ -1,0 +1,22 @@
+"""Serverless platform simulator (the paper's modified Apache OpenWhisk).
+
+Structure mirrors the real thing at the granularity the paper's analysis
+needs (Figs. 4, 5 and 7):
+
+* :mod:`repro.serverless.config` — platform constants (container memory,
+  cold-start distribution, keep-alive, front-end overheads).
+* :mod:`repro.serverless.container` — single-concurrency container FSM
+  (initializing → idle → busy → dead) with keep-alive reaping.
+* :mod:`repro.serverless.pool` — memory-capped, per-function container
+  pool: FIFO dispatch, cold-start pledging, prewarming.
+* :mod:`repro.serverless.frontend` — per-query platform overheads
+  (authentication/processing, code loading, result posting).
+* :mod:`repro.serverless.platform` — the facade gluing the above to a
+  :class:`~repro.cluster.resource_model.MachineModel`.
+"""
+
+from repro.serverless.config import ServerlessConfig
+from repro.serverless.container import Container, ContainerState
+from repro.serverless.platform import ServerlessPlatform
+
+__all__ = ["Container", "ContainerState", "ServerlessConfig", "ServerlessPlatform"]

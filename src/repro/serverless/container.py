@@ -1,0 +1,59 @@
+"""Container lifecycle.
+
+A container executes at most one invocation at a time (paper §V-A: "most
+serverless platforms allow only one execution at a time in a container").
+States:
+
+``INITIALIZING``  cold start in progress (runtime boot + code pull)
+``IDLE``          warm, waiting for work; reaped after ``keep_alive``
+``BUSY``          executing one invocation
+``DEAD``          reaped (memory returned to the pool)
+
+The pool drives transitions; the container only owns its identity,
+timestamps and the keep-alive generation counter used to cancel stale
+reap timers without heap surgery.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workloads.functionbench import MicroserviceSpec
+
+__all__ = ["Container", "ContainerState"]
+
+_ids = itertools.count()
+
+
+class ContainerState(enum.Enum):
+    """Lifecycle states of a serverless container."""
+
+    INITIALIZING = "initializing"
+    IDLE = "idle"
+    BUSY = "busy"
+    DEAD = "dead"
+
+
+class Container:
+    """One single-concurrency container bound to a function."""
+
+    __slots__ = ("cid", "spec", "state", "created_at", "warm_since", "invocations", "reap_token", "prewarmed")
+
+    def __init__(self, spec: "MicroserviceSpec", created_at: float, prewarmed: bool = False):
+        self.cid = next(_ids)
+        self.spec = spec
+        self.state = ContainerState.INITIALIZING
+        self.created_at = created_at
+        self.warm_since: Optional[float] = None
+        self.invocations = 0
+        #: generation counter: bumped whenever the container leaves IDLE,
+        #: so a pending keep-alive reap callback can detect staleness
+        self.reap_token = 0
+        #: True if created by the prewarm module (Fig. 16 accounting)
+        self.prewarmed = prewarmed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Container #{self.cid} {self.spec.name} {self.state.value}>"

@@ -1,0 +1,53 @@
+"""Serverless front end: per-query platform overheads before dispatch.
+
+Every invocation pays an authentication/scheduling overhead before it
+reaches the container pool's FIFO queue (paper Fig. 4's "processing"
+stage; code loading and result posting are paid inside the container and
+accounted by the pool).  The front end also stamps arrival telemetry so
+the controller's load estimate reflects offered load, not completed load.
+"""
+
+from __future__ import annotations
+
+from repro.serverless.pool import ContainerPool
+from repro.serverless.config import ServerlessConfig
+from repro.sim.environment import Environment
+from repro.sim.rng import RngRegistry
+from repro.workloads.loadgen import Query
+
+__all__ = ["Frontend"]
+
+
+class Frontend:
+    """Entry point for invocations on the serverless platform."""
+
+    def __init__(
+        self,
+        env: Environment,
+        pool: ContainerPool,
+        config: ServerlessConfig,
+        rng: RngRegistry,
+    ):
+        self.env = env
+        self.pool = pool
+        self.config = config
+        self.rng = rng
+        self.accepted = 0
+
+    def invoke(self, query: Query) -> None:
+        """Accept one query: pay the processing overhead, then enqueue."""
+        fs = self.pool.state(query.service)
+        if fs.metrics is not None:
+            fs.metrics.record_arrival(self.env.now, canary=query.canary)
+        self.accepted += 1
+        self.env.process(self._admit(query))
+
+    def _admit(self, query: Query):
+        proc = self.rng.lognormal_around(
+            f"proc/{query.service}",
+            self.config.proc_overhead_median,
+            self.config.proc_overhead_sigma,
+        )
+        yield self.env.timeout(proc)
+        query.breakdown["proc"] = proc
+        self.pool.submit(query)

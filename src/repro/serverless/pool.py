@@ -1,0 +1,338 @@
+"""Memory-capped, per-function container pool with FIFO dispatch.
+
+Scheduling policy (paper Fig. 7): each function has a FIFO queue of
+pending invocations.  An arriving invocation takes a warm idle container
+if one exists; otherwise, if pool memory and the function's concurrency
+limit allow, a *cold start is pledged* — a new container begins
+initializing and will take the oldest queued invocation when ready.
+Invocations that can do neither wait in the queue for the next container
+to free up.
+
+Cold starts take the paper's one-to-three seconds (runtime boot) plus a
+code pull that *contends for disk bandwidth* on the shared machine model,
+so heavy IO tenants lengthen cold starts — one of the cross-resource
+effects the contention monitor exists to capture.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.cluster.accounting import UsageLedger
+from repro.cluster.resource_model import DemandVector, MachineModel, SensitivityVector
+from repro.serverless.config import ServerlessConfig
+from repro.serverless.container import Container, ContainerState
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+from repro.sim.rng import RngRegistry
+from repro.telemetry import ServiceMetrics
+from repro.workloads.functionbench import MicroserviceSpec
+from repro.workloads.loadgen import Query
+
+__all__ = ["ContainerPool", "FunctionState"]
+
+#: demand one cold-starting container's code pull places on the machine
+_COLD_PULL_SENS = SensitivityVector(cpu=0.1, io=1.0, net=0.0)
+
+
+@dataclass
+class FunctionState:
+    """Pool-side bookkeeping for one registered function."""
+
+    spec: MicroserviceSpec
+    metrics: Optional[ServiceMetrics]
+    ledger: UsageLedger
+    limit: int
+    #: idle-container lifetime; None = the pool default.  Zero disables
+    #: warm reuse entirely (every query cold starts — Amoeba-NoP's world).
+    keep_alive: Optional[float] = None
+    queue: Deque[Tuple[Query, float]] = field(default_factory=deque)
+    idle: Deque[Container] = field(default_factory=deque)
+    n_init: int = 0
+    n_busy: int = 0
+    cold_starts: int = 0
+    completions: int = 0
+    #: total billed execution seconds (code load + execution + posting),
+    #: the maintainer-side GB-second basis (see repro.cluster.pricing)
+    busy_seconds: float = 0.0
+    #: events fired when an in-flight cold start turns warm (prewarm acks)
+    _ready_events: Deque[Event] = field(default_factory=deque)
+
+    @property
+    def total_containers(self) -> int:
+        """Containers currently alive for this function (any state)."""
+        return self.n_init + self.n_busy + len(self.idle)
+
+    @property
+    def warm_or_warming(self) -> int:
+        """Idle plus initializing containers (prewarm deficit basis)."""
+        return self.n_init + len(self.idle)
+
+
+class ContainerPool:
+    """All container lifecycle and dispatch for one serverless node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        machine: MachineModel,
+        config: ServerlessConfig,
+        rng: RngRegistry,
+    ):
+        self.env = env
+        self.machine = machine
+        self.config = config
+        self.rng = rng
+        self._functions: Dict[str, FunctionState] = {}
+        self._container_memory_in_use = 0.0
+
+    # -- registration -------------------------------------------------------
+    def register(
+        self,
+        spec: MicroserviceSpec,
+        metrics: Optional[ServiceMetrics] = None,
+        ledger: Optional[UsageLedger] = None,
+        limit: Optional[int] = None,
+        keep_alive: Optional[float] = None,
+    ) -> FunctionState:
+        """Make ``spec`` invocable; returns its pool state."""
+        if spec.name in self._functions:
+            raise ValueError(f"function {spec.name!r} already registered")
+        if keep_alive is not None and keep_alive < 0:
+            raise ValueError(f"keep_alive must be >= 0, got {keep_alive}")
+        fs = FunctionState(
+            spec=spec,
+            metrics=metrics,
+            ledger=ledger if ledger is not None else UsageLedger(self.env, f"sls/{spec.name}"),
+            limit=limit if limit is not None else self.config.concurrency_limit,
+            keep_alive=keep_alive,
+        )
+        self._functions[spec.name] = fs
+        return fs
+
+    def state(self, name: str) -> FunctionState:
+        """Pool state of a registered function."""
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise KeyError(f"function {name!r} not registered") from None
+
+    @property
+    def container_memory_in_use(self) -> float:
+        """Total MB held by live containers across all functions."""
+        return self._container_memory_in_use
+
+    def n_max(self, name: str) -> int:
+        """Paper §IV-A upper container limit for one function.
+
+        ``n_max = min(concurrency limit, free-memory bound)`` — the
+        free-memory bound counts this function's own containers as
+        reusable.
+        """
+        fs = self.state(name)
+        free_mb = self.config.pool_memory_mb - self._container_memory_in_use
+        own_mb = fs.total_containers * self.config.container_memory_mb
+        mem_bound = int((free_mb + own_mb) // self.config.container_memory_mb)
+        return min(fs.limit, mem_bound)
+
+    # -- submission -----------------------------------------------------------
+    def submit(self, query: Query) -> None:
+        """Enqueue one invocation (front-end overhead already paid)."""
+        fs = self.state(query.service)
+        fs.queue.append((query, self.env.now))
+        self._pump(fs)
+
+    def _pump(self, fs: FunctionState) -> None:
+        """Restore the dispatch invariant for one function."""
+        # serve queued work with idle containers
+        while fs.queue and fs.idle:
+            container = fs.idle.popleft()
+            query, t_enq = fs.queue.popleft()
+            self._assign(fs, container, query, t_enq)
+        # pledge cold starts for backlog not already covered by warming ones
+        while len(fs.queue) > fs.n_init and self._can_launch(fs):
+            self._launch(fs)
+
+    def _can_launch(self, fs: FunctionState) -> bool:
+        cfg = self.config
+        fits = self._container_memory_in_use + cfg.container_memory_mb <= cfg.pool_memory_mb
+        return fits and fs.total_containers < fs.limit
+
+    # -- container lifecycle ----------------------------------------------------
+    def _launch(self, fs: FunctionState, prewarmed: bool = False) -> Event:
+        """Begin a cold start; returns an event fired when the container is warm."""
+        cfg = self.config
+        container = Container(fs.spec, self.env.now, prewarmed=prewarmed)
+        fs.n_init += 1
+        fs.cold_starts += 1
+        self._container_memory_in_use += cfg.container_memory_mb
+        fs.ledger.acquire(cfg.idle_cpu, cfg.container_memory_mb)
+        ready = self.env.event()
+        fs._ready_events.append(ready)
+        self.env.process(self._cold_start(fs, container, ready))
+        return ready
+
+    def _cold_start(self, fs: FunctionState, container: Container, ready: Event):
+        cfg = self.config
+        boot = self.rng.lognormal_around(
+            f"coldstart/{fs.spec.name}", cfg.cold_start_median, cfg.cold_start_sigma
+        )
+        yield self.env.timeout(boot)
+        # code/image pull contends for disk bandwidth
+        pull_work = fs.spec.code_mb / cfg.cold_load_mbps
+        pull = self.machine.execute(
+            pull_work,
+            DemandVector(cpu=0.2, io_mbps=cfg.cold_load_mbps),
+            _COLD_PULL_SENS,
+        )
+        yield pull
+        fs.n_init -= 1
+        container.state = ContainerState.IDLE
+        container.warm_since = self.env.now
+        if fs._ready_events:
+            fs._ready_events.popleft().succeed(container.cid)
+        if fs.queue:
+            query, t_enq = fs.queue.popleft()
+            self._assign(fs, container, query, t_enq, fresh_cold=True)
+        else:
+            self._idle(fs, container)
+
+    def _retire(self, fs: FunctionState, container: Container) -> None:
+        """Tear a container down and return its memory to the pool."""
+        container.state = ContainerState.DEAD
+        self._container_memory_in_use -= self.config.container_memory_mb
+        fs.ledger.release(self.config.idle_cpu, self.config.container_memory_mb)
+
+    def _keep_alive_of(self, fs: FunctionState) -> float:
+        return fs.keep_alive if fs.keep_alive is not None else self.config.keep_alive
+
+    def _idle(self, fs: FunctionState, container: Container) -> None:
+        """Park a container as warm-idle and arm its keep-alive reaper."""
+        keep_alive = self._keep_alive_of(fs)
+        if keep_alive <= 0.0 and container.invocations > 0:
+            # warm reuse disabled: tear the container down right away
+            self._retire(fs, container)
+            return
+        container.state = ContainerState.IDLE
+        container.warm_since = self.env.now
+        fs.idle.append(container)
+        container.reap_token += 1
+        token = container.reap_token
+        self.env.schedule_callback(
+            max(keep_alive, 1e-3), lambda: self._maybe_reap(fs, container, token)
+        )
+
+    def _maybe_reap(self, fs: FunctionState, container: Container, token: int) -> None:
+        if container.state is not ContainerState.IDLE or container.reap_token != token:
+            return  # was re-used (or already reaped) since the timer was armed
+        fs.idle.remove(container)
+        self._retire(fs, container)
+
+    def _assign(
+        self,
+        fs: FunctionState,
+        container: Container,
+        query: Query,
+        t_enqueue: float,
+        fresh_cold: bool = False,
+    ) -> None:
+        container.state = ContainerState.BUSY
+        container.reap_token += 1
+        fs.n_busy += 1
+        wait = self.env.now - t_enqueue
+        if fresh_cold:
+            # the query waited (at least partly) on this container's cold
+            # start: attribute that share of the wait to "cold"
+            cold_elapsed = self.env.now - container.created_at
+            cold_part = min(wait, cold_elapsed)
+            query.breakdown["cold"] = cold_part
+            query.breakdown["queue"] = wait - cold_part
+        else:
+            query.breakdown["queue"] = wait
+        self.env.process(self._run(fs, container, query))
+
+    def _run(self, fs: FunctionState, container: Container, query: Query):
+        cfg = self.config
+        spec = fs.spec
+        # per-query (warm) code/data loading
+        load_t = (spec.code_mb / cfg.warm_load_mbps) * self.rng.lognormal_around(
+            f"warmload/{spec.name}", 1.0, 0.15
+        )
+        yield self.env.timeout(load_t)
+        # contended execution
+        work = self.rng.lognormal_around(f"exec/{spec.name}", spec.exec_time, spec.exec_sigma)
+        fs.ledger.acquire(spec.demand.cpu, 0.0)
+        exec_done = self.machine.execute(work, spec.demand, spec.sensitivity)
+        exec_t = yield exec_done
+        fs.ledger.release(spec.demand.cpu, 0.0)
+        # result posting
+        post_t = cfg.post_overhead_base + spec.result_mb / cfg.post_mbps
+        yield self.env.timeout(post_t)
+
+        query.breakdown["load"] = load_t
+        query.breakdown["exec"] = exec_t
+        query.breakdown["post"] = post_t
+        query.t_complete = self.env.now
+        query.served_by = "serverless"
+        if fs.metrics is not None:
+            fs.metrics.record_completion(query)
+        fs.completions += 1
+        fs.busy_seconds += load_t + exec_t + post_t
+        container.invocations += 1
+        fs.n_busy -= 1
+        if self._keep_alive_of(fs) <= 0.0:
+            # no warm reuse at all (Amoeba-NoP): the container dies and
+            # queued work must cold start afresh
+            self._retire(fs, container)
+        elif fs.queue:
+            # reuse for queued work
+            nxt, t_enq = fs.queue.popleft()
+            self._assign(fs, container, nxt, t_enq)
+        else:
+            self._idle(fs, container)
+        # backlog may still exceed pledged cold starts (e.g. limit freed)
+        self._pump(fs)
+
+    # -- prewarming ----------------------------------------------------------------
+    def prewarm(self, name: str, count: int) -> Event:
+        """Ensure ``count`` containers are warm(ing); event fires when ready.
+
+        The returned event's value is the number of containers that were
+        actually secured (memory pressure can cap it below ``count``).
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        fs = self.state(name)
+        deficit = count - fs.warm_or_warming
+        launched: list[Event] = []
+        while deficit > 0 and self._can_launch(fs):
+            launched.append(self._launch(fs, prewarmed=True))
+            deficit -= 1
+        secured = count - max(deficit, 0)
+        result = self.env.event()
+        if not launched:
+            result.succeed(secured)
+            return result
+        all_ready = self.env.all_of(launched)
+
+        def _done(_ev: Event) -> None:
+            result.succeed(secured)
+
+        assert all_ready.callbacks is not None
+        all_ready.callbacks.append(_done)
+        return result
+
+    # -- introspection -----------------------------------------------------------
+    def warm_count(self, name: str) -> int:
+        """Idle warm containers for ``name``."""
+        return len(self.state(name).idle)
+
+    def queue_length(self, name: str) -> int:
+        """Pending invocations for ``name``."""
+        return len(self.state(name).queue)
+
+    def registered(self) -> tuple[str, ...]:
+        """Names of all registered functions."""
+        return tuple(self._functions)

@@ -1,0 +1,164 @@
+"""The simulation environment: virtual clock plus event heap.
+
+The environment owns a binary heap of ``(time, priority, seq, event)``
+tuples.  ``seq`` is a monotonically increasing tie-breaker so that events
+scheduled at the same instant run in FIFO order and the heap never has to
+compare event objects.  ``priority`` lets resource bookkeeping (priority 0)
+run ahead of ordinary events (priority 1) at the same timestamp.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+
+#: priority for internal bookkeeping events that must precede user events
+URGENT = 0
+#: default event priority
+NORMAL = 1
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Environment.run` at ``until``."""
+
+
+class Environment:
+    """A deterministic discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock, in seconds.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new :class:`Process` driving ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Insert a triggered event into the heap (kernel-internal)."""
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def schedule_callback(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` after ``delay`` simulated seconds.
+
+        A convenience for fire-and-forget bookkeeping that does not warrant
+        a full process.  Returns the underlying timeout event.
+        """
+        ev = self.timeout(delay)
+        assert ev.callbacks is not None
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    # -- execution ---------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain.
+        """
+        if not self._heap:
+            raise EmptySchedule()
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._run_callbacks()
+        if not event._ok and not event._defused:
+            # an unhandled failure escapes the simulation
+            raise event._value  # type: ignore[misc]
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``      run until the heap drains.
+            ``float``     run until the clock reaches that time.
+            ``Event``     run until that event has been processed; its
+                          value is returned.
+        """
+        stop_value: Any = None
+        if until is None:
+            stop_event: Optional[Event] = None
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event._processed:
+                return stop_event._value
+            assert stop_event.callbacks is not None
+            stop_event.callbacks.append(self._stop_on_event)
+        else:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(f"run(until={horizon}) is in the past (now={self._now})")
+            stop_event = Event(self)
+            stop_event._ok = True
+            self._seq += 1
+            # priority below URGENT so the clock stops before same-time events
+            heapq.heappush(self._heap, (horizon, -1, self._seq, stop_event))
+            assert stop_event.callbacks is not None
+            stop_event.callbacks.append(self._stop_on_event)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            stop_value = stop.args[0] if stop.args else None
+        except EmptySchedule:
+            if isinstance(until, Event) and not until._processed:
+                raise RuntimeError("run() ran out of events before `until` triggered") from None
+        return stop_value
+
+    @staticmethod
+    def _stop_on_event(event: Event) -> None:
+        raise StopSimulation(event._value if event._ok else None)

@@ -1,0 +1,218 @@
+"""Core event primitives for the discrete-event kernel.
+
+An :class:`Event` moves through three states:
+
+``pending``      created but not yet triggered; processes may wait on it.
+``triggered``    a value (or exception) has been attached and the event is
+                 sitting in the environment's heap awaiting its timestamp.
+``processed``    the environment has popped it and run its callbacks.
+
+Processes wait on events by ``yield``-ing them; the environment wires the
+process resumption up as a callback.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.environment import Environment
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "ConditionEvent",
+    "Event",
+    "EventAlreadyTriggered",
+    "Interrupt",
+    "Timeout",
+]
+
+
+class EventAlreadyTriggered(RuntimeError):
+    """Raised when ``succeed``/``fail`` is called on a non-pending event."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` is an arbitrary payload supplied by the interrupter
+    (e.g. a string reason or a richer object).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    env:
+        The owning environment.  Events are only meaningful within a
+        single environment; mixing environments raises at trigger time.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered: bool = False
+        self._processed: bool = False
+        #: a failed event whose exception was consumed (e.g. by a waiting
+        #: process) is "defused" and will not crash the environment.
+        self._defused: bool = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once a value or exception has been attached."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful when triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or exception when ``not ok``)."""
+        if not self._triggered:
+            raise AttributeError("value of untriggered event is not available")
+        return self._value
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it will not propagate."""
+        self._defused = True
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None, *, delay: float = 0.0, priority: int = 1) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self._triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._enqueue(self, delay, priority)
+        return self
+
+    def fail(self, exception: BaseException, *, delay: float = 0.0, priority: int = 1) -> "Event":
+        """Trigger the event with an exception after ``delay``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._enqueue(self, delay, priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (callback helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event.defuse()
+            self.fail(event._value)
+
+    # -- internal --------------------------------------------------------
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None, priority: int = 1):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = float(delay)
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        env._enqueue(self, delay, priority)
+
+
+class ConditionEvent(Event):
+    """Base for composite events over a set of child events.
+
+    Subclasses define :meth:`_check`, which is consulted each time a child
+    triggers.  The condition's value is a dict mapping each *triggered*
+    child event to its value, in child order.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events: tuple[Event, ...] = tuple(events)
+        self._count = 0
+        for ev in self._events:
+            if ev.env is not env:
+                raise ValueError("cannot mix events from different environments")
+        if not self._events:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev._processed:
+                self._on_child(ev)
+            else:
+                assert ev.callbacks is not None
+                ev.callbacks.append(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self._triggered:
+            if not child._ok:
+                # condition already resolved; don't let a late failure
+                # crash the environment.
+                child.defuse()
+            return
+        if not child._ok:
+            child.defuse()
+            self.fail(child._value)
+            return
+        self._count += 1
+        if self._check():
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict[Event, Any]:
+        # _processed, not _triggered: a Timeout is born triggered but has
+        # not *fired* until the environment processes it
+        return {ev: ev._value for ev in self._events if ev._processed and ev._ok}
+
+    def _check(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(ConditionEvent):
+    """Triggers once *all* child events have triggered successfully."""
+
+    def _check(self) -> bool:
+        return self._count == len(self._events)
+
+
+class AnyOf(ConditionEvent):
+    """Triggers as soon as *any* child event triggers successfully."""
+
+    def _check(self) -> bool:
+        return self._count >= 1

@@ -1,0 +1,82 @@
+"""Named, reproducible random-number substreams.
+
+Every stochastic input in an experiment (arrival processes, service-time
+jitter, cold-start durations, trace noise, ...) draws from its own
+``numpy.random.Generator``.  Substreams are derived from a single root
+seed plus the stream's name via ``numpy.random.SeedSequence.spawn``-style
+keying, so:
+
+* two streams with different names are statistically independent;
+* the same (seed, name) pair always produces the same sequence,
+  regardless of the order in which other streams were created or used.
+
+This is what makes whole experiments bit-reproducible while still letting
+components create their RNGs lazily.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["RngRegistry"]
+
+
+class RngRegistry:
+    """Factory for named, independently seeded RNG substreams."""
+
+    def __init__(self, seed: int = 0):
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        self._seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        """The root seed all substreams are derived from."""
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        gen = self._streams.get(name)
+        if gen is None:
+            # key the SeedSequence on a stable hash of the name so stream
+            # identity does not depend on creation order
+            key = zlib.crc32(name.encode("utf-8"))
+            seq = np.random.SeedSequence(entropy=self._seed, spawn_key=(key,))
+            gen = np.random.default_rng(seq)
+            self._streams[name] = gen
+        return gen
+
+    def exponential(self, name: str, mean: float) -> float:
+        """One exponential draw with the given mean from stream ``name``."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        return float(self.stream(name).exponential(mean))
+
+    def lognormal_around(self, name: str, median: float, sigma: float) -> float:
+        """One lognormal draw with the given *median* from stream ``name``.
+
+        Lognormal with small sigma is our default "noisy but positive"
+        duration model (cold starts, code loading, per-query jitter).
+        """
+        if median <= 0:
+            raise ValueError(f"median must be positive, got {median}")
+        return float(median * np.exp(self.stream(name).normal(0.0, sigma)))
+
+    def uniform(self, name: str, low: float, high: float) -> float:
+        """One uniform draw on ``[low, high)`` from stream ``name``."""
+        if high < low:
+            raise ValueError(f"empty interval [{low}, {high})")
+        return float(self.stream(name).uniform(low, high))
+
+    def fork(self, salt: str) -> "RngRegistry":
+        """A registry whose streams are all independent of this one's.
+
+        Used to give experiment repetitions (e.g. different benchmarks in
+        one sweep) disjoint randomness under a single root seed.
+        """
+        derived = zlib.crc32(salt.encode("utf-8")) ^ (self._seed * 0x9E3779B1 & 0xFFFFFFFF)
+        return RngRegistry(seed=derived)

@@ -1,0 +1,150 @@
+"""Per-service telemetry shared by every deployment backend.
+
+Both platforms (and the Amoeba engine, which straddles them) record the
+same things for each service: end-to-end latencies, QoS violations,
+latency-stage breakdowns, arrival times for load estimation, and which
+platform served each query.  Keeping this in one class means Fig. 10's
+CDFs, Fig. 4's breakdowns, and the controller's load signal all read from
+the same bookkeeping regardless of deployment mode.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+from repro.sim.stats import OnlineStats, P2Quantile, ReservoirSample
+from repro.workloads.loadgen import Query
+
+__all__ = ["LoadEstimator", "ServiceMetrics"]
+
+#: the latency stages platforms may report in Query.breakdown
+STAGES = ("proc", "queue", "cold", "load", "exec", "post")
+
+
+class LoadEstimator:
+    """Sliding-window arrival-rate estimate.
+
+    The controller's λ.  A fixed window (paper: the sample period is on
+    the order of seconds to a minute, Eq. 8) over arrival timestamps; the
+    estimate is count/window once the window has filled.
+    """
+
+    def __init__(self, window: float = 60.0):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = float(window)
+        self._arrivals: Deque[float] = deque()
+        self._t0: Optional[float] = None
+        self.total = 0
+
+    def record(self, t: float) -> None:
+        """Register one arrival at time ``t``."""
+        if self._t0 is None:
+            self._t0 = t
+        self.total += 1
+        self._arrivals.append(t)
+        self._evict(t)
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window
+        arr = self._arrivals
+        while arr and arr[0] < cutoff:
+            arr.popleft()
+
+    def rate(self, now: float) -> float:
+        """Arrival rate (queries/s) over the trailing window."""
+        self._evict(now)
+        if self._t0 is None:
+            return 0.0
+        span = min(self.window, max(now - self._t0, 1e-9))
+        return len(self._arrivals) / span
+
+
+class ServiceMetrics:
+    """Latency/QoS/breakdown accounting for one service.
+
+    Canary (shadow) queries are tallied separately — they inform the
+    controller but must not count against the user-facing QoS.
+    """
+
+    def __init__(self, service: str, qos_target: float, reservoir: int = 20000, seed: int = 1):
+        if qos_target <= 0:
+            raise ValueError(f"qos_target must be positive, got {qos_target}")
+        self.service = service
+        self.qos_target = float(qos_target)
+        self.latencies = ReservoirSample(reservoir, rng=np.random.default_rng(seed))
+        self.p95 = P2Quantile(0.95)
+        self.stats = OnlineStats()
+        self.completed = 0
+        self.violations = 0
+        self.breakdown_sums: Dict[str, float] = {s: 0.0 for s in STAGES}
+        self.served_by: Dict[str, int] = {}
+        self.load = LoadEstimator()
+        self.canary_latencies: Deque[float] = deque(maxlen=256)
+        #: recent user-query latencies (controller feedback while the
+        #: service itself runs on the serverless platform)
+        self.recent: Deque[float] = deque(maxlen=128)
+
+    def record_arrival(self, t: float, canary: bool = False) -> None:
+        """Register a query submission (canaries excluded from load)."""
+        if not canary:
+            self.load.record(t)
+
+    def record_completion(self, query: Query) -> None:
+        """Fold a completed query into the ledgers.
+
+        Controller-feedback stores (``canary_latencies``, ``recent``)
+        keep the *processing* latency — end-to-end minus queueing and
+        cold start.  Eq. 6's μ is per-container processing capacity
+        (queueing is the M/M/N model's job, Eq. 5), and Eq. 8's
+        sample-period rule exists precisely so that "cold start by
+        accident" does not mislead the controller (§VI-B).  User-facing
+        QoS accounting keeps the full end-to-end latency.
+        """
+        lat = query.latency
+        processing = lat - query.breakdown.get("cold", 0.0) - query.breakdown.get("queue", 0.0)
+        if query.canary:
+            self.canary_latencies.append(processing)
+            return
+        self.completed += 1
+        self.recent.append(processing)
+        self.latencies.add(lat)
+        self.p95.add(lat)
+        self.stats.add(lat)
+        if lat > self.qos_target:
+            self.violations += 1
+        for stage, dt in query.breakdown.items():
+            if stage in self.breakdown_sums:
+                self.breakdown_sums[stage] += dt
+        if query.served_by:
+            self.served_by[query.served_by] = self.served_by.get(query.served_by, 0) + 1
+
+    @property
+    def violation_fraction(self) -> float:
+        """Fraction of completed user queries over the QoS target."""
+        return self.violations / self.completed if self.completed else 0.0
+
+    @property
+    def p95_estimate(self) -> float:
+        """Streaming 95%-ile latency estimate."""
+        return self.p95.value
+
+    def exact_percentile(self, p: float) -> float:
+        """Percentile from the latency reservoir (p in [0, 100])."""
+        return self.latencies.percentile(p)
+
+    def breakdown_fractions(self) -> Dict[str, float]:
+        """Each stage's share of total recorded latency."""
+        total = sum(self.breakdown_sums.values())
+        if total <= 0:
+            return {s: 0.0 for s in STAGES}
+        return {s: v / total for s, v in self.breakdown_sums.items()}
+
+    def mean_canary_latency(self) -> float:
+        """Average latency of recent shadow queries (NaN when none)."""
+        if not self.canary_latencies:
+            return float("nan")
+        return float(np.mean(self.canary_latencies))

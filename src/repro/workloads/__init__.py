@@ -1,0 +1,46 @@
+"""Workload substrate: FunctionBench microservices, traces, load generation.
+
+* :mod:`repro.workloads.functionbench` — the five Table III benchmarks
+  (``float``, ``matmul``, ``linpack``, ``dd``, ``cloud_stor``) expressed
+  as :class:`~repro.workloads.functionbench.MicroserviceSpec` records:
+  solo execution profile, resource demand vector, contention sensitivity
+  vector, code size and QoS target.
+* :mod:`repro.workloads.traces` — deterministic load-shape generators,
+  including the Didi-like two-peak diurnal trace the paper drives its
+  evaluation with.
+* :mod:`repro.workloads.loadgen` — an open-loop, non-homogeneous Poisson
+  query generator that submits queries against any deployment's router.
+"""
+
+from repro.workloads.functionbench import (
+    BENCHMARKS,
+    MicroserviceSpec,
+    benchmark,
+    benchmark_names,
+)
+from repro.workloads.ambient import AmbientTenants
+from repro.workloads.loadgen import LoadGenerator, Query
+from repro.workloads.traces import (
+    BurstTrace,
+    ConstantTrace,
+    DiurnalTrace,
+    SampledTrace,
+    StepTrace,
+    Trace,
+)
+
+__all__ = [
+    "AmbientTenants",
+    "BENCHMARKS",
+    "BurstTrace",
+    "ConstantTrace",
+    "DiurnalTrace",
+    "LoadGenerator",
+    "MicroserviceSpec",
+    "Query",
+    "SampledTrace",
+    "StepTrace",
+    "Trace",
+    "benchmark",
+    "benchmark_names",
+]

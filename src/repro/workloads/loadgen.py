@@ -1,0 +1,108 @@
+"""Open-loop query generation.
+
+Queries arrive according to a non-homogeneous Poisson process whose rate
+follows a :class:`~repro.workloads.traces.Trace` (the paper's M/M/N
+assumption: exponential inter-arrivals).  Generation is *open-loop*: slow
+responses do not throttle arrivals, which is what makes overload visible
+as queue growth — the effect the discriminant function exists to predict.
+
+Thinning (Lewis & Shedler) against the trace's ``peak_rate`` keeps the
+non-homogeneous process exact without integrating the rate function.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.environment import Environment
+from repro.sim.events import Interrupt
+from repro.sim.rng import RngRegistry
+from repro.workloads.traces import Trace
+
+__all__ = ["LoadGenerator", "Query"]
+
+
+@dataclass
+class Query:
+    """One user request travelling through a deployment."""
+
+    qid: int
+    service: str
+    t_submit: float
+    #: filled in by whichever platform completes the query
+    t_complete: Optional[float] = None
+    #: per-stage latency contributions, seconds (platforms fill these in)
+    breakdown: dict = field(default_factory=dict)
+    #: which platform served it ("iaas" / "serverless"), for the timelines
+    served_by: Optional[str] = None
+    #: True for Amoeba's shadow/canary duplicates (excluded from user QoS)
+    canary: bool = False
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency; raises if the query has not completed."""
+        if self.t_complete is None:
+            raise RuntimeError(f"query {self.qid} of {self.service!r} has not completed")
+        return self.t_complete - self.t_submit
+
+
+class LoadGenerator:
+    """Drives a submit callback with Poisson arrivals following a trace.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    service:
+        Service name stamped on the queries.
+    trace:
+        Arrival-rate shape.
+    submit:
+        Called with each new :class:`Query`; expected to route it into a
+        deployment (fire-and-forget — completion is the platform's job).
+    rng:
+        Randomness registry; the generator uses stream
+        ``"arrivals/<service>"``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        service: str,
+        trace: Trace,
+        submit: Callable[[Query], None],
+        rng: RngRegistry,
+    ):
+        self.env = env
+        self.service = service
+        self.trace = trace
+        self.submit = submit
+        self._rng = rng.stream(f"arrivals/{service}")
+        self._ids = itertools.count()
+        self.generated = 0
+        self._proc = env.process(self._run())
+
+    def _run(self):
+        env = self.env
+        rate_max = self.trace.peak_rate
+        if rate_max <= 0:
+            return
+        try:
+            while True:
+                # candidate arrival from the dominating homogeneous process
+                gap = float(self._rng.exponential(1.0 / rate_max))
+                yield env.timeout(gap)
+                # thinning: accept with probability rate(t) / rate_max
+                if self._rng.uniform() * rate_max <= self.trace.rate(env.now):
+                    q = Query(qid=next(self._ids), service=self.service, t_submit=env.now)
+                    self.generated += 1
+                    self.submit(q)
+        except Interrupt:
+            return
+
+    def stop(self) -> None:
+        """Halt arrival generation (end of experiment)."""
+        if self._proc.is_alive:
+            self._proc.interrupt("loadgen stopped")

@@ -1,0 +1,94 @@
+"""Usage ledger integration and UsageSample arithmetic."""
+
+import pytest
+
+from repro.cluster.accounting import UsageLedger, UsageSample
+
+
+def test_acquire_release_integral(env):
+    ledger = UsageLedger(env, "t")
+
+    def proc(env):
+        ledger.acquire(4.0, 1024.0)
+        yield env.timeout(10.0)
+        ledger.release(4.0, 1024.0)
+        yield env.timeout(10.0)
+
+    env.process(proc(env))
+    env.run()
+    snap = ledger.snapshot()
+    assert snap.cpu_core_seconds == pytest.approx(40.0)
+    assert snap.memory_mb_seconds == pytest.approx(10240.0)
+    assert snap.duration == pytest.approx(20.0)
+    assert snap.mean_cores == pytest.approx(2.0)
+    assert snap.mean_memory_mb == pytest.approx(512.0)
+
+
+def test_nested_acquires_stack(env):
+    ledger = UsageLedger(env, "t")
+    ledger.acquire(1.0, 100.0)
+    ledger.acquire(2.0, 200.0)
+    assert ledger.current_cores == 3.0
+    assert ledger.current_memory_mb == 300.0
+    ledger.release(1.0, 100.0)
+    assert ledger.current_cores == 2.0
+
+
+def test_negative_amount_rejected(env):
+    ledger = UsageLedger(env, "t")
+    with pytest.raises(ValueError):
+        ledger.acquire(-1.0, 0.0)
+    with pytest.raises(ValueError):
+        ledger.release(0.0, -1.0)
+
+
+def test_over_release_raises(env):
+    ledger = UsageLedger(env, "t")
+    ledger.acquire(1.0, 100.0)
+    with pytest.raises(RuntimeError):
+        ledger.release(2.0, 100.0)
+
+
+def test_timeline_records(env):
+    ledger = UsageLedger(env, "t", timeline_interval=0.0)
+
+    def proc(env):
+        ledger.acquire(1.0, 10.0)
+        yield env.timeout(5.0)
+        ledger.release(1.0, 10.0)
+
+    env.process(proc(env))
+    env.run()
+    assert len(ledger.cpu_timeline) == 2
+    assert ledger.cpu_timeline.values()[0] == 1.0
+    assert ledger.cpu_timeline.values()[1] == 0.0
+
+
+def test_usage_sample_normalized_to():
+    a = UsageSample(cpu_core_seconds=10.0, memory_mb_seconds=100.0, duration=10.0)
+    b = UsageSample(cpu_core_seconds=40.0, memory_mb_seconds=200.0, duration=10.0)
+    cpu, mem = a.normalized_to(b)
+    assert cpu == pytest.approx(0.25)
+    assert mem == pytest.approx(0.5)
+
+
+def test_usage_sample_normalize_zero_baseline():
+    a = UsageSample(1.0, 1.0, 1.0)
+    z = UsageSample(0.0, 0.0, 1.0)
+    with pytest.raises(ValueError):
+        a.normalized_to(z)
+
+
+def test_usage_sample_add():
+    a = UsageSample(10.0, 100.0, 10.0)
+    b = UsageSample(5.0, 50.0, 10.0)
+    c = a + b
+    assert c.cpu_core_seconds == 15.0
+    assert c.memory_mb_seconds == 150.0
+    assert c.duration == 10.0
+
+
+def test_empty_duration_means_zero():
+    s = UsageSample(0.0, 0.0, 0.0)
+    assert s.mean_cores == 0.0
+    assert s.mean_memory_mb == 0.0

@@ -1,0 +1,69 @@
+"""Maintainer-cost extension."""
+
+import pytest
+
+from repro.cluster.accounting import UsageSample
+from repro.cluster.pricing import CostBreakdown, PricingModel
+
+
+class TestPricingModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PricingModel(iaas_core_hour=-1.0)
+        with pytest.raises(ValueError):
+            PricingModel(serverless_gb_second=-1.0)
+
+    def test_iaas_cost(self):
+        p = PricingModel(iaas_core_hour=0.05, iaas_gb_hour=0.01)
+        # 2 cores + 4 GB for one hour
+        usage = UsageSample(
+            cpu_core_seconds=2 * 3600.0,
+            memory_mb_seconds=4 * 1024.0 * 3600.0,
+            duration=3600.0,
+        )
+        assert p.iaas_cost(usage) == pytest.approx(2 * 0.05 + 4 * 0.01)
+
+    def test_serverless_cost(self):
+        p = PricingModel(serverless_gb_second=2e-5, serverless_per_million=0.2)
+        # 1M invocations of 0.5 s at 256 MB = 125k GB-s
+        cost = p.serverless_cost(1_000_000, 0.5, 256.0)
+        assert cost == pytest.approx(125_000 * 2e-5 + 0.2)
+
+    def test_serverless_cost_validation(self):
+        p = PricingModel()
+        with pytest.raises(ValueError):
+            p.serverless_cost(-1, 0.5, 256.0)
+        with pytest.raises(ValueError):
+            p.serverless_cost(1, 0.5, 0.0)
+
+    def test_idle_rental_still_billed(self):
+        """The paper's core economic point: IaaS bills idle time."""
+        p = PricingModel()
+        idle_rental = UsageSample(8 * 3600.0, 16 * 1024.0 * 3600.0, 3600.0)
+        few_invocations = p.serverless_cost(1000, 0.2, 256.0)
+        assert p.iaas_cost(idle_rental) > 100 * few_invocations
+
+
+class TestCostBreakdown:
+    def test_total(self):
+        c = CostBreakdown(system="x", iaas_dollars=1.0, serverless_dollars=0.5)
+        assert c.total == 1.5
+
+    def test_normalized(self):
+        a = CostBreakdown("a", 1.0, 0.0)
+        b = CostBreakdown("b", 2.0, 2.0)
+        assert a.normalized_to(b) == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            a.normalized_to(CostBreakdown("z", 0.0, 0.0))
+
+
+class TestServiceResultCost:
+    def test_amoeba_cost_has_both_components(self):
+        from repro.experiments.runner import run_amoeba
+        from repro.experiments.scenarios import default_scenario
+
+        scenario = default_scenario("float", day=600.0, seed=4)
+        run = run_amoeba(scenario)
+        bill = run.foreground(scenario).cost()
+        assert bill.iaas_dollars > 0  # started on IaaS
+        assert bill.serverless_dollars > 0  # switched at low load

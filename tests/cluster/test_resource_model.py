@@ -1,0 +1,225 @@
+"""The multi-resource contention engine: slowdown shape and progress."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.resource_model import (
+    ContentionConfig,
+    DemandVector,
+    MachineModel,
+    SensitivityVector,
+)
+
+pressures_st = st.tuples(
+    st.floats(0.0, 2.5), st.floats(0.0, 2.5), st.floats(0.0, 2.5)
+)
+
+
+class TestVectors:
+    def test_demand_validation(self):
+        with pytest.raises(ValueError):
+            DemandVector(cpu=-1.0)
+        with pytest.raises(ValueError):
+            DemandVector(io_mbps=-0.1)
+
+    def test_demand_scaled(self):
+        d = DemandVector(cpu=2.0, memory_mb=100.0, io_mbps=10.0, net_mbps=4.0)
+        s = d.scaled(0.5)
+        assert s.cpu == 1.0 and s.memory_mb == 50.0 and s.io_mbps == 5.0 and s.net_mbps == 2.0
+        with pytest.raises(ValueError):
+            d.scaled(-1.0)
+
+    def test_sensitivity_validation(self):
+        with pytest.raises(ValueError):
+            SensitivityVector(cpu=-0.1)
+        with pytest.raises(ValueError):
+            SensitivityVector(io=6.0)
+
+    def test_sensitivity_tuple(self):
+        s = SensitivityVector(cpu=1.0, io=0.5, net=0.2)
+        assert s.as_tuple() == (1.0, 0.5, 0.2)
+
+
+class TestContentionConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContentionConfig(linear=-1.0)
+        with pytest.raises(ValueError):
+            ContentionConfig(overlap=1.5)
+        with pytest.raises(ValueError):
+            ContentionConfig(knee=0.0)
+        with pytest.raises(ValueError):
+            ContentionConfig(pressure_cap=0.5)
+
+    def test_g_zero_at_zero(self):
+        assert ContentionConfig().g(0.0) == 0.0
+
+    def test_g_convex_past_knee(self):
+        cfg = ContentionConfig()
+        below = cfg.g(cfg.knee) - cfg.g(cfg.knee - 0.1)
+        above = cfg.g(cfg.knee + 0.2) - cfg.g(cfg.knee + 0.1)
+        assert above > below
+
+    def test_g_capped(self):
+        cfg = ContentionConfig()
+        assert cfg.g(cfg.pressure_cap) == cfg.g(cfg.pressure_cap + 10.0)
+
+    def test_slowdown_one_when_unloaded(self):
+        cfg = ContentionConfig()
+        s = SensitivityVector(cpu=1.0, io=1.0, net=1.0)
+        assert cfg.slowdown(s, (0.0, 0.0, 0.0)) == pytest.approx(1.0)
+
+    def test_single_axis_is_exact(self):
+        """With pressure on one axis only, overlap has nothing to hide."""
+        cfg = ContentionConfig()
+        s = SensitivityVector(cpu=1.2, io=0.0, net=0.0)
+        expected = 1.0 + 1.2 * cfg.g(0.9)
+        assert cfg.slowdown(s, (0.9, 0.0, 0.0)) == pytest.approx(expected)
+
+    @given(pressures_st)
+    @settings(max_examples=200, deadline=None)
+    def test_subadditive_between_max_and_sum(self, p):
+        """Paper SII-E: degradation is not the simple accumulation."""
+        cfg = ContentionConfig()
+        s = SensitivityVector(cpu=1.0, io=0.8, net=0.6)
+        d = [s.as_tuple()[i] * cfg.g(p[i]) for i in range(3)]
+        slow = cfg.slowdown(s, p)
+        assert slow >= 1.0 + max(d) - 1e-12
+        assert slow <= 1.0 + sum(d) + 1e-12
+
+    @given(pressures_st, pressures_st)
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_pressure(self, p1, p2):
+        cfg = ContentionConfig()
+        s = SensitivityVector(cpu=1.0, io=1.0, net=1.0)
+        lo = tuple(min(a, b) for a, b in zip(p1, p2))
+        hi = tuple(max(a, b) for a, b in zip(p1, p2))
+        assert cfg.slowdown(s, hi) >= cfg.slowdown(s, lo) - 1e-12
+
+    def test_insensitive_service_immune(self):
+        cfg = ContentionConfig()
+        s = SensitivityVector(cpu=0.0, io=0.0, net=0.0)
+        assert cfg.slowdown(s, (2.0, 2.0, 2.0)) == pytest.approx(1.0)
+
+
+def make_machine(env, cores=8.0, io=400.0, net=400.0, **cfg):
+    return MachineModel(env, cores=cores, io_mbps=io, net_mbps=net, config=ContentionConfig(**cfg))
+
+
+CPU1 = DemandVector(cpu=1.0, memory_mb=256.0)
+SENS_CPU = SensitivityVector(cpu=1.0, io=0.0, net=0.0)
+
+
+class TestMachineModel:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            MachineModel(env, cores=0, io_mbps=1, net_mbps=1)
+
+    def test_solo_execution_takes_its_work(self, env):
+        m = make_machine(env, linear=0.0)  # no sub-saturation interference
+        done = m.execute(2.0, CPU1, SENS_CPU)
+        env.run(until=done)
+        assert env.now == pytest.approx(2.0)
+        assert done.value == pytest.approx(2.0)
+
+    def test_work_must_be_positive(self, env):
+        m = make_machine(env)
+        with pytest.raises(ValueError):
+            m.execute(0.0, CPU1, SENS_CPU)
+
+    def test_pressures_reflect_active_demand(self, env):
+        m = make_machine(env, cores=4.0)
+        m.execute(10.0, DemandVector(cpu=2.0, io_mbps=100.0), SENS_CPU)
+        p = m.pressures()
+        assert p[0] == pytest.approx(0.5)
+        assert p[1] == pytest.approx(0.25)
+        assert m.active_count == 1
+
+    def test_contention_stretches_execution(self, env):
+        # 10 one-core jobs on 8 cores: pressure 1.25, all slowed equally
+        m = make_machine(env)
+        events = [m.execute(1.0, CPU1, SENS_CPU) for _ in range(10)]
+        env.run()
+        cfg = m.config
+        expected = 1.0 * cfg.slowdown(SENS_CPU, (10.0 / 8.0, 0.0, 0.0))
+        assert env.now == pytest.approx(expected, rel=1e-6)
+        assert all(e.value == pytest.approx(expected, rel=1e-6) for e in events)
+
+    def test_mid_flight_arrival_slows_existing_job(self, env):
+        m = make_machine(env, cores=1.0, linear=1.0, quad=0.0, overlap=0.0)
+
+        def spoiler(env):
+            yield env.timeout(0.5)
+            m.execute(10.0, CPU1, SENS_CPU)
+
+        env.process(spoiler(env))
+        done = m.execute(1.0, CPU1, SENS_CPU)
+        env.run(until=done)
+        # first half runs at slowdown 1+1*1=2? no: alone pressure=1 -> slowdown 2
+        # 0.5s of wall completes 0.25 work; then two jobs: pressure 2 -> slowdown 3
+        # remaining 0.75 work takes 2.25s -> total 2.75
+        assert env.now == pytest.approx(2.75, rel=1e-6)
+
+    def test_departure_speeds_up_remaining_job(self, env):
+        m = make_machine(env, cores=1.0, linear=1.0, quad=0.0, overlap=0.0)
+        short = m.execute(0.5, CPU1, SENS_CPU)
+        long = m.execute(2.0, CPU1, SENS_CPU)
+        env.run(until=long)
+        # both at pressure 2 (slowdown 3) until short finishes at t=1.5
+        # (0.5 work); long then has 1.5 work left alone (slowdown 2) -> 3.0s
+        assert env.now == pytest.approx(4.5, rel=1e-6)
+
+    def test_memory_tracked(self, env):
+        m = make_machine(env)
+        m.execute(1.0, DemandVector(cpu=0.5, memory_mb=512.0), SENS_CPU)
+        assert m.memory_in_use_mb == pytest.approx(512.0)
+        env.run()
+        assert m.memory_in_use_mb == pytest.approx(0.0)
+
+    def test_inject_background_pressures_and_removal(self, env):
+        m = make_machine(env, cores=4.0)
+        remove = m.inject_background(DemandVector(cpu=2.0))
+        assert m.pressures()[0] == pytest.approx(0.5)
+        remove()
+        assert m.pressures()[0] == pytest.approx(0.0)
+        with pytest.raises(RuntimeError):
+            remove()
+
+    def test_background_slows_execution(self, env):
+        m = make_machine(env, cores=1.0, linear=1.0, quad=0.0, overlap=0.0)
+        m.inject_background(DemandVector(cpu=1.0))
+        done = m.execute(1.0, CPU1, SENS_CPU)
+        env.run(until=done)
+        # pressure 2 (background 1 + own 1) -> slowdown 3
+        assert env.now == pytest.approx(3.0, rel=1e-6)
+
+    def test_accounting_taps_integrate(self, env):
+        m = make_machine(env, linear=0.0)
+        m.execute(2.0, DemandVector(cpu=3.0), SENS_CPU)
+        env.run()
+        assert m.cpu_in_use.integral(env.now) == pytest.approx(6.0)
+
+    def test_many_jobs_all_complete(self, env):
+        m = make_machine(env)
+        events = [m.execute(0.1 + 0.01 * i, CPU1, SENS_CPU) for i in range(50)]
+        env.run()
+        assert all(e.processed for e in events)
+        assert m.active_count == 0
+        assert m.pressures() == (0.0, 0.0, 0.0)
+
+    def test_slowdown_for_hypothetical(self, env):
+        m = make_machine(env, cores=4.0)
+        m.inject_background(DemandVector(cpu=4.0))
+        assert m.slowdown_for(SENS_CPU) > 1.0
+        assert m.slowdown_for(SensitivityVector(cpu=0, io=0, net=0)) == pytest.approx(1.0)
+
+    def test_on_pressure_change_hook(self, env):
+        m = make_machine(env)
+        seen = []
+        m.on_pressure_change = lambda t, p: seen.append((t, p))
+        done = m.execute(1.0, CPU1, SENS_CPU)
+        env.run(until=done)
+        assert len(seen) >= 2  # start + finish
+        assert seen[0][1][0] > 0.0
+        assert seen[-1][1][0] == pytest.approx(0.0)

@@ -1,0 +1,128 @@
+"""Property-based conservation laws for the contention engine.
+
+The progress-based rescheduling in MachineModel is the most intricate
+piece of the substrate: every arrival/departure rebalances every running
+execution.  These hypothesis tests check the laws any such engine must
+obey, over randomized workloads:
+
+* **work conservation** — each execution's integrated progress equals the
+  work requested, regardless of how often it was rescheduled;
+* **slowdown lower bound** — no execution finishes faster than its solo
+  time;
+* **bounded stretch** — the measured duration never exceeds work × the
+  worst instantaneous slowdown that occurred while it ran;
+* **clean teardown** — after everything finishes, demand totals and
+  memory return exactly to zero.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.resource_model import (
+    ContentionConfig,
+    DemandVector,
+    MachineModel,
+    SensitivityVector,
+)
+from repro.sim.environment import Environment
+
+# randomized job sets: (start delay, work, cpu demand, io demand)
+jobs_strategy = st.lists(
+    st.tuples(
+        st.floats(0.0, 2.0),
+        st.floats(0.05, 1.5),
+        st.floats(0.1, 2.0),
+        st.floats(0.0, 300.0),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(jobs_strategy)
+@settings(max_examples=60, deadline=None)
+def test_work_conservation_and_bounds(jobs):
+    env = Environment()
+    cfg = ContentionConfig()
+    machine = MachineModel(env, cores=4.0, io_mbps=500.0, net_mbps=500.0, config=cfg)
+    sens = SensitivityVector(cpu=1.0, io=0.8, net=0.0)
+    results = []
+    worst_slowdown = [1.0]
+
+    def track(_t, pressures):
+        worst_slowdown[0] = max(worst_slowdown[0], cfg.slowdown(sens, pressures))
+
+    machine.on_pressure_change = track
+
+    def submit(env, delay, work, cpu, io):
+        yield env.timeout(delay)
+        t0 = env.now
+        demand = DemandVector(cpu=cpu, memory_mb=64.0, io_mbps=io)
+        duration = yield machine.execute(work, demand, sens)
+        results.append((work, t0, env.now, duration))
+
+    for delay, work, cpu, io in jobs:
+        env.process(submit(env, delay, work, cpu, io))
+    env.run()
+
+    assert len(results) == len(jobs)
+    for work, t0, t1, duration in results:
+        # the event's reported duration matches wall time
+        assert duration == (t1 - t0) or math.isclose(duration, t1 - t0, rel_tol=1e-9)
+        # never faster than solo, never slower than the worst slowdown seen
+        assert duration >= work * (1.0 - 1e-6)
+        assert duration <= work * worst_slowdown[0] * (1.0 + 1e-6)
+    # teardown: all demand and memory fully returned
+    assert machine.active_count == 0
+    assert machine.pressures() == (0.0, 0.0, 0.0)
+    assert machine.memory_in_use_mb == 0.0
+
+
+@given(jobs_strategy, st.floats(0.1, 1.5), st.floats(0.5, 4.0))
+@settings(max_examples=40, deadline=None)
+def test_background_injection_never_breaks_completion(jobs, bg_pressure, bg_lifetime):
+    """Random standing background comes and goes; everything still finishes."""
+    env = Environment()
+    machine = MachineModel(env, cores=4.0, io_mbps=500.0, net_mbps=500.0)
+    sens = SensitivityVector(cpu=1.0)
+    done = []
+
+    def submit(env, delay, work, cpu, io):
+        yield env.timeout(delay)
+        demand = DemandVector(cpu=cpu, io_mbps=io)
+        yield machine.execute(work, demand, sens)
+        done.append(1)
+
+    def background(env):
+        yield env.timeout(0.5)
+        remove = machine.inject_background(
+            DemandVector(cpu=bg_pressure * 4.0, io_mbps=bg_pressure * 500.0)
+        )
+        yield env.timeout(bg_lifetime)
+        remove()
+
+    for delay, work, cpu, io in jobs:
+        env.process(submit(env, delay, work, cpu, io))
+    env.process(background(env))
+    env.run()
+    assert len(done) == len(jobs)
+    assert machine.pressures() == (0.0, 0.0, 0.0)
+
+
+@given(
+    st.floats(0.0, 2.5),
+    st.floats(0.0, 2.5),
+    st.floats(0.0, 2.5),
+    st.floats(0.0, 1.0),
+)
+@settings(max_examples=150, deadline=None)
+def test_overlap_interpolates_between_max_and_sum(p0, p1, p2, overlap):
+    """overlap=0 is plain accumulation; overlap=1 hides behind the max."""
+    cfg = ContentionConfig(overlap=overlap)
+    sens = SensitivityVector(cpu=1.0, io=0.7, net=0.4)
+    d = [sens.as_tuple()[i] * cfg.g((p0, p1, p2)[i]) for i in range(3)]
+    slow = cfg.slowdown(sens, (p0, p1, p2))
+    expected = 1.0 + max(d) + (1.0 - overlap) * (sum(d) - max(d))
+    assert math.isclose(slow, expected, rel_tol=1e-12)

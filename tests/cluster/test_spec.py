@@ -1,0 +1,42 @@
+"""Table II constants and spec validation."""
+
+import pytest
+
+from repro.cluster.spec import CLUSTER_TABLE_II, ClusterSpec, NodeSpec
+
+
+def test_table_ii_values():
+    node = CLUSTER_TABLE_II.serverless_node
+    assert node.cores == 40
+    assert node.memory_mb == 256 * 1024.0
+    assert node.net_mbps == pytest.approx(3125.0)  # 25,000 Mb/s NIC
+    assert CLUSTER_TABLE_II.container_memory_mb == 256.0
+
+
+def test_three_nodes():
+    c = CLUSTER_TABLE_II
+    assert c.iaas_node.name == "iaas"
+    assert c.serverless_node.name == "serverless"
+    assert c.driver_node.name == "driver"
+
+
+def test_max_containers_by_memory():
+    assert CLUSTER_TABLE_II.max_containers_by_memory == 1024
+
+
+def test_node_validation():
+    with pytest.raises(ValueError):
+        NodeSpec(cores=0)
+    with pytest.raises(ValueError):
+        NodeSpec(memory_mb=-1)
+    with pytest.raises(ValueError):
+        NodeSpec(disk_mbps=0)
+    with pytest.raises(ValueError):
+        NodeSpec(net_mbps=0)
+
+
+def test_cluster_validation():
+    with pytest.raises(ValueError):
+        ClusterSpec(container_memory_mb=0)
+    with pytest.raises(ValueError):
+        ClusterSpec(container_memory_mb=1e9)

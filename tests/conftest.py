@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim.environment import Environment
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def rng() -> RngRegistry:
+    """A deterministic randomness registry."""
+    return RngRegistry(seed=1234)

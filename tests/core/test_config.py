@@ -1,0 +1,56 @@
+"""AmoebaConfig validation and variants."""
+
+import pytest
+
+from repro.core.config import AmoebaConfig
+
+
+def test_defaults_valid():
+    cfg = AmoebaConfig()
+    assert cfg.use_pca and cfg.prewarm
+    assert cfg.r_ile == 0.95  # the paper's QoS percentile
+
+
+def test_variant_nom():
+    cfg = AmoebaConfig().variant_nom()
+    assert not cfg.use_pca
+    assert cfg.prewarm  # NoM keeps prewarming
+
+
+def test_variant_nop():
+    cfg = AmoebaConfig().variant_nop()
+    assert not cfg.prewarm
+    assert cfg.use_pca  # NoP keeps the monitor
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"r_ile": 0.0},
+        {"r_ile": 1.0},
+        {"allowed_error": 1.0},
+        {"switch_in_margin": 0.95, "switch_out_margin": 0.9},
+        {"min_sample_period": 0.0},
+        {"max_sample_period": 1.0, "min_sample_period": 10.0},
+        {"canary_fraction": 0.9},
+        {"meter_qps": 0.0},
+        {"meter_window": 0},
+        {"pca_min_rows": 2},
+        {"pca_window": 5, "pca_min_rows": 12},
+        {"pca_variance_coverage": 0.0},
+        {"min_dwell": -1.0},
+        {"prewarm_headroom": -1},
+        {"surface_pressure_points": 1},
+        {"surface_pressure_max": 0.0},
+        {"discriminant": "magic"},
+        {"naive_rho_max": 1.0},
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        AmoebaConfig(**kwargs)
+
+
+def test_hysteresis_ordering_enforced():
+    cfg = AmoebaConfig(switch_in_margin=0.6, switch_out_margin=0.95)
+    assert cfg.switch_in_margin < cfg.switch_out_margin

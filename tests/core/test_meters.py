@@ -1,0 +1,115 @@
+"""Contention meters: profiles, inversion, measured-vs-analytic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.meters import (
+    AXIS_METERS,
+    METER_SPECS,
+    MeterProfile,
+    analytic_meter_latency,
+    expected_platform_overhead,
+    meter_axis_index,
+    profile_meter,
+    profile_meter_measured,
+)
+from repro.serverless.config import ServerlessConfig
+
+
+class TestMeterSpecs:
+    def test_three_meters_one_per_axis(self):
+        assert len(METER_SPECS) == 3
+        assert meter_axis_index("meter_cpu") == 0
+        assert meter_axis_index("meter_io") == 1
+        assert meter_axis_index("meter_net") == 2
+
+    def test_unknown_meter_raises(self):
+        with pytest.raises(KeyError):
+            meter_axis_index("meter_gpu")
+
+    def test_meters_are_one_hot_sensitive(self):
+        """Each meter reacts to exactly its own axis (that is the design)."""
+        for name in AXIS_METERS:
+            axis = meter_axis_index(name)
+            sens = METER_SPECS[name].sensitivity.as_tuple()
+            assert sens[axis] == 1.0
+            assert all(s == 0.0 for i, s in enumerate(sens) if i != axis)
+
+    def test_meters_are_tiny(self):
+        for spec in METER_SPECS.values():
+            assert spec.exec_time <= 0.15
+
+
+class TestOverhead:
+    def test_expected_overhead_components(self):
+        cfg = ServerlessConfig()
+        spec = METER_SPECS["meter_cpu"]
+        alpha = expected_platform_overhead(spec, cfg)
+        assert alpha > cfg.proc_overhead_median  # proc + load + post
+        assert alpha < 0.1
+
+
+class TestProfiles:
+    def test_analytic_profile_monotone(self):
+        for name in AXIS_METERS:
+            prof = profile_meter(name)
+            assert np.all(np.diff(prof.latencies) >= 0)
+            assert prof.latencies[-1] > prof.latencies[0]
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            MeterProfile("m", 0, np.array([0.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            MeterProfile("m", 0, np.array([0.0, 0.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            MeterProfile("m", 0, np.array([0.0, 1.0]), np.array([2.0, 1.0]))
+
+    def test_latency_interpolates(self):
+        prof = MeterProfile("m", 0, np.array([0.0, 1.0]), np.array([0.1, 0.3]))
+        assert prof.latency(0.5) == pytest.approx(0.2)
+        assert prof.latency(-1.0) == pytest.approx(0.1)  # clamped
+        assert prof.latency(5.0) == pytest.approx(0.3)
+
+    def test_invert_round_trip_on_grid(self):
+        prof = profile_meter("meter_cpu")
+        for p in (0.0, 0.4, 0.8, 1.2):
+            lat = prof.latency(p)
+            assert prof.invert(lat) == pytest.approx(p, abs=0.02)
+
+    @given(st.floats(0.0, 1.6))
+    @settings(max_examples=100, deadline=None)
+    def test_invert_is_inverse_everywhere(self, p):
+        prof = profile_meter("meter_io")
+        assert prof.invert(prof.latency(p)) == pytest.approx(p, abs=0.03)
+
+    def test_invert_clamps(self):
+        prof = profile_meter("meter_cpu")
+        assert prof.invert(0.0) == prof.pressures[0]
+        assert prof.invert(100.0) == prof.pressures[-1]
+
+    def test_analytic_latency_validation(self):
+        from repro.cluster.resource_model import ContentionConfig
+
+        with pytest.raises(ValueError):
+            analytic_meter_latency(
+                METER_SPECS["meter_cpu"], 0.5, 3, ContentionConfig(), ServerlessConfig()
+            )
+
+
+class TestMeasuredProfile:
+    def test_measured_matches_analytic(self):
+        """The simulated profiling run reproduces the closed form."""
+        measured = profile_meter_measured(
+            "meter_cpu", points=4, queries_per_point=40, pressure_max=1.2, seed=3
+        )
+        analytic = profile_meter("meter_cpu", pressure_max=1.2)
+        for p, lat in zip(measured.pressures, measured.latencies):
+            assert lat == pytest.approx(analytic.latency(float(p)), rel=0.15)
+
+    def test_measured_profile_monotone(self):
+        measured = profile_meter_measured(
+            "meter_net", points=4, queries_per_point=30, pressure_max=1.2, seed=5
+        )
+        assert np.all(np.diff(measured.latencies) >= 0)

@@ -1,0 +1,65 @@
+"""Eq. 6 μ estimation and its NoM variant."""
+
+import pytest
+
+from repro.core.mu_model import NOM_WEIGHTS, mu_value, predicted_latency
+
+
+class TestPredictedLatency:
+    def test_no_degradation_is_solo_plus_alpha(self):
+        lat = predicted_latency(0.1, [0.1, 0.1, 0.1], [1, 1, 1], alpha=0.02)
+        assert lat == pytest.approx(0.12)
+
+    def test_weights_scale_degradations(self):
+        # only axis 0 degraded by 0.1
+        lat = predicted_latency(0.1, [0.2, 0.1, 0.1], [0.5, 1, 1], alpha=0.0)
+        assert lat == pytest.approx(0.1 + 0.05)
+
+    def test_nom_accumulates_all_axes(self):
+        axis = [0.2, 0.15, 0.12]
+        nom = predicted_latency(0.1, axis, NOM_WEIGHTS, alpha=0.0)
+        assert nom == pytest.approx(0.1 + 0.1 + 0.05 + 0.02)
+
+    def test_nom_never_below_calibrated_with_subunit_weights(self):
+        axis = [0.25, 0.18, 0.13]
+        calibrated = predicted_latency(0.1, axis, [0.9, 0.3, 0.1], alpha=0.01)
+        nom = predicted_latency(0.1, axis, NOM_WEIGHTS, alpha=0.01)
+        assert nom >= calibrated
+
+    def test_floor_at_solo_plus_alpha(self):
+        # a hostile bias cannot predict faster-than-solo
+        lat = predicted_latency(0.1, [0.1, 0.1, 0.1], [1, 1, 1], alpha=0.02, bias=-5.0)
+        assert lat == pytest.approx(0.12)
+
+    def test_negative_degradations_clipped(self):
+        # surfaces can dip below solo from interpolation noise
+        lat = predicted_latency(0.1, [0.05, 0.1, 0.1], [1, 1, 1], alpha=0.0)
+        assert lat == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predicted_latency(0.0, [0.1, 0.1, 0.1], [1, 1, 1], alpha=0.0)
+        with pytest.raises(ValueError):
+            predicted_latency(0.1, [0.1, 0.1, 0.1], [1, 1, 1], alpha=-0.1)
+        with pytest.raises(ValueError):
+            predicted_latency(0.1, [0.1, 0.1], [1, 1, 1], alpha=0.0)
+
+
+class TestMuValue:
+    def test_mu_is_reciprocal(self):
+        est = mu_value("s", 0.1, [0.15, 0.1, 0.1], [1, 1, 1], alpha=0.02)
+        assert est.mu == pytest.approx(1.0 / est.predicted_latency)
+        assert est.predicted_latency == pytest.approx(0.1 + 0.05 + 0.02)
+
+    def test_carries_inputs(self):
+        est = mu_value("svc", 0.1, [0.2, 0.1, 0.1], [0.5, 1.0, 1.0], alpha=0.01, bias=0.002)
+        assert est.service == "svc"
+        assert est.weights == (0.5, 1.0, 1.0)
+        assert est.bias == pytest.approx(0.002)
+        assert est.solo_latency == 0.1
+        assert est.alpha == 0.01
+
+    def test_more_contention_less_mu(self):
+        lo = mu_value("s", 0.1, [0.12, 0.1, 0.1], [1, 1, 1], alpha=0.01)
+        hi = mu_value("s", 0.1, [0.30, 0.1, 0.1], [1, 1, 1], alpha=0.01)
+        assert hi.mu < lo.mu

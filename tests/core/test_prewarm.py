@@ -1,0 +1,54 @@
+"""Eq. 7 prewarm sizing."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prewarm import prewarm_count
+
+
+def test_eq7_examples():
+    # V=10 qps, QoS 0.3 s -> 3 containers sustain 10/s at QoS pace
+    assert prewarm_count(10.0, 0.3) == 3
+    assert prewarm_count(8.0, 1.6) == 13
+
+
+def test_minimum_one_container():
+    assert prewarm_count(0.0, 1.0) == 1
+    assert prewarm_count(0.001, 1.0) == 1
+
+
+def test_headroom_added():
+    assert prewarm_count(10.0, 0.3, headroom=2) == 5
+
+
+def test_cap_applied():
+    assert prewarm_count(100.0, 1.0, n_cap=8) == 8
+
+
+@given(st.floats(0.01, 200.0), st.floats(0.05, 5.0))
+@settings(max_examples=200, deadline=None)
+def test_eq7_inequality_holds(load, qos):
+    """Paper Eq. 7: (n-1)/QoS < V <= n/QoS."""
+    n = prewarm_count(load, qos)
+    assert load <= n / qos + 1e-9
+    if n > 1:
+        assert (n - 1) / qos < load + 1e-9
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        prewarm_count(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        prewarm_count(1.0, 0.0)
+    with pytest.raises(ValueError):
+        prewarm_count(1.0, 1.0, headroom=-1)
+    with pytest.raises(ValueError):
+        prewarm_count(1.0, 1.0, n_cap=0)
+
+
+def test_exact_multiple_boundary():
+    # V*QoS exactly integral: Eq. 7's upper branch, n = V*QoS
+    assert prewarm_count(10.0, 0.5) == math.ceil(5.0) == 5

@@ -1,0 +1,47 @@
+"""Ablation study smoke tests (reduced days; full runs live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablate_discriminant,
+    ablate_guard,
+    ablate_keep_alive,
+    ablate_sample_period,
+)
+
+DAY = 900.0
+
+
+def test_ablate_guard_structure():
+    r = ablate_guard(name="float", day=DAY, seed=2)
+    labels = [row[0] for row in r.rows]
+    assert labels == ["guard on", "guard off"]
+    for row in r.rows:
+        assert 0.0 <= row[1] <= 1.0  # fg violation fraction
+        assert 0.0 <= row[2] <= 1.0  # worst bg violation fraction
+
+
+def test_ablate_sample_period_structure():
+    r = ablate_sample_period(name="float", day=DAY, seed=2)
+    rows = {row[0]: row for row in r.rows}
+    assert set(rows) == {"Eq. 8 period", "3 s period"}
+    for row in r.rows:
+        assert row[2] > 0  # mean cores
+
+
+def test_ablate_discriminant_structure():
+    r = ablate_discriminant(name="float", day=DAY, seed=2)
+    labels = [row[0] for row in r.rows]
+    assert labels[0] == "Eq. 5 (M/M/N)"
+    assert len(labels) == 3
+
+
+def test_ablate_keep_alive_tradeoff():
+    r = ablate_keep_alive(name="float", day=DAY, seed=2)
+    keep_alives = [row[0] for row in r.rows]
+    assert keep_alives == sorted(keep_alives)
+    mem = [row[2] for row in r.rows]
+    cold = [row[3] for row in r.rows]
+    # the trade-off: more memory held, fewer cold starts per query
+    assert mem[-1] >= mem[0]
+    assert cold[-1] <= cold[0]

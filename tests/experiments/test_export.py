@@ -1,0 +1,90 @@
+"""Figure export and ASCII rendering."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.export import (
+    ascii_mode_timeline,
+    ascii_series,
+    figure_to_csv,
+    figure_to_json,
+)
+from repro.experiments.report import FigureResult
+
+
+def sample_figure():
+    return FigureResult(
+        figure="Fig. T",
+        title="test",
+        headers=["name", "value"],
+        rows=[["a", 1.5], ["b", 2.5]],
+        notes="note",
+        extras={"array": np.array([1.0, 2.0]), "nested": {"x": np.float64(3.0)}},
+    )
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = figure_to_csv(sample_figure(), tmp_path / "fig.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "name,value"
+        assert lines[1] == "a,1.5"
+        assert len(lines) == 3
+
+
+class TestJson:
+    def test_serializes_numpy_extras(self, tmp_path):
+        path = figure_to_json(sample_figure(), tmp_path / "fig.json")
+        payload = json.loads(path.read_text())
+        assert payload["figure"] == "Fig. T"
+        assert payload["extras"]["array"] == [1.0, 2.0]
+        assert payload["extras"]["nested"]["x"] == 3.0
+
+    def test_unserializable_extras_become_repr(self, tmp_path):
+        fig = sample_figure()
+        fig.extras["obj"] = object()
+        path = figure_to_json(fig, tmp_path / "fig.json")
+        payload = json.loads(path.read_text())
+        assert payload["extras"]["obj"].startswith("<object")
+
+
+class TestAsciiSeries:
+    def test_shape(self):
+        grid = np.linspace(0, 100, 50)
+        values = np.sin(grid / 10) + 1.5
+        art = ascii_series(grid, values, width=40, height=8, label="demo")
+        lines = art.splitlines()
+        assert lines[0] == "demo"
+        assert len(lines) == 1 + 8 + 1  # label + height + time axis
+        assert any("*" in line for line in lines)
+
+    def test_extremes_on_border_rows(self):
+        grid = [0.0, 1.0, 2.0]
+        values = [0.0, 10.0, 0.0]
+        art = ascii_series(grid, values, width=30, height=5)
+        lines = art.splitlines()
+        assert "*" in lines[0]  # the max hits the top row
+        assert "*" in lines[-2]  # the min hits the bottom row
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_series([0.0], [1.0])
+        with pytest.raises(ValueError):
+            ascii_series([0, 1], [1, 2], width=5)
+
+
+class TestAsciiModeTimeline:
+    def test_renders_modes(self):
+        timeline = [(0.0, "iaas"), (50.0, "serverless")]
+        strip = ascii_mode_timeline(timeline, duration=100.0, width=20)
+        body = strip.split("|")[1]  # between the pipes, before the legend
+        assert body.count("▆") == 10
+        assert body.count("░") == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_mode_timeline([], 100.0)
+        with pytest.raises(ValueError):
+            ascii_mode_timeline([(0.0, "iaas")], 0.0)

@@ -1,0 +1,95 @@
+"""Figure regenerators: smoke tests on reduced parameters.
+
+Full-fidelity regeneration lives in benchmarks/; these tests only verify
+that each regenerator runs, produces the right row structure, and that
+the cheap ones land in the paper's qualitative ranges.
+"""
+
+import pytest
+
+from repro.experiments import figures as F
+from repro.workloads.functionbench import benchmark_names
+
+
+class TestTables:
+    def test_table2(self):
+        r = F.table2_setup()
+        assert r.figure == "Table II"
+        assert any("cores per node" in str(row[0]) for row in r.rows)
+        assert "40" in r.text()
+
+    def test_table3(self):
+        r = F.table3_benchmarks()
+        assert [row[0] for row in r.rows] == list(benchmark_names())
+        assert len(r.headers) == len(r.rows[0])
+
+
+class TestInvestigationFigures:
+    def test_fig2_shape(self):
+        r = F.fig2_iaas_utilization(day=600.0, windows=12)
+        assert [row[0] for row in r.rows] == list(benchmark_names())
+        for _name, lo, avg, hi in r.rows:
+            assert 0.0 <= lo <= avg <= hi <= 1.0
+        # the paper's headline: IaaS average utilization is low
+        averages = [row[2] for row in r.rows]
+        assert max(averages) < 0.8
+
+    def test_fig4_overheads_in_band(self):
+        r = F.fig4_latency_breakdown(duration=120.0)
+        for row in r.rows:
+            overhead = row[5]
+            assert 0.05 < overhead < 0.5  # paper: 10-45%
+        # fractions sum to 1
+        for row in r.rows:
+            assert sum(row[1:5]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_fig8_curves(self):
+        r = F.fig8_meter_curves(points=3, queries_per_point=20)
+        meters = {row[0] for row in r.rows}
+        assert meters == {"meter_cpu", "meter_io", "meter_net"}
+        for name in meters:
+            prof = r.extras[name]["measured"]
+            assert prof.latencies[-1] >= prof.latencies[0]
+
+    def test_fig9_surfaces(self):
+        r = F.fig9_latency_surfaces(
+            service="dd", pressures=(0.0, 1.0), load_fractions=(0.0, 0.3), duration=40.0
+        )
+        axes = {row[1] for row in r.rows}
+        assert axes == {"cpu", "io", "net"}
+        # dd is io-bound: pressure on the io axis hurts more than net
+        io_rows = [row for row in r.rows if row[1] == "io" and row[2] == 1.0]
+        net_rows = [row for row in r.rows if row[1] == "net" and row[2] == 1.0]
+        assert io_rows[0][4] > net_rows[0][4]
+
+
+class TestEvaluationFigures:
+    """One tiny shared run exercises the cached triple-run machinery."""
+
+    DAY = 900.0
+
+    def test_run_triple_caches(self):
+        sc1, res1 = F.run_triple("float", day=self.DAY, seed=1, systems=("nameko",))
+        sc2, res2 = F.run_triple("float", day=self.DAY, seed=1, systems=("nameko",))
+        assert res1["nameko"] is res2["nameko"]
+        with pytest.raises(ValueError):
+            F.run_triple("float", day=self.DAY, seed=1, systems=("bogus",))
+
+    def test_fig12_switch_timeline(self):
+        r = F.fig12_switch_timeline(services=("float",), day=self.DAY, seed=1)
+        assert "float" in r.extras
+        timeline = r.extras["float"]["mode_timeline"]
+        assert timeline[0][1] == "iaas"
+        grid, load = r.extras["float"]["load_grid"]
+        assert len(grid) == len(load)
+
+    def test_fig13_usage_timeline(self):
+        r = F.fig13_usage_timeline(services=("float",), day=self.DAY, seed=1, points=40)
+        cpu = r.extras["float"]["cpu"]
+        assert cpu.shape == (40,)
+        assert cpu.max() > 0
+
+    def test_sec7e_meter_overhead(self):
+        r = F.sec7e_meter_overhead(day=self.DAY, seed=1)
+        total_row = [row for row in r.rows if row[0] == "total"][0]
+        assert 0.0 < total_row[1] < 0.05

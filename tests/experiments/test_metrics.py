@@ -1,0 +1,69 @@
+"""Derived measurement helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.metrics import latency_cdf, peak_load_search
+from repro.telemetry import ServiceMetrics
+from repro.workloads.loadgen import Query
+
+
+def fake_metrics(latencies, qos=1.0):
+    m = ServiceMetrics("s", qos)
+    for i, lat in enumerate(latencies):
+        q = Query(qid=i, service="s", t_submit=0.0)
+        q.t_complete = lat
+        m.record_completion(q)
+    return m
+
+
+class TestLatencyCdf:
+    def test_normalized_to_qos(self):
+        x, f = latency_cdf(np.array([0.5, 1.0, 1.5, 2.0]), qos_target=1.0)
+        # F at x=1.0 counts latencies <= QoS
+        idx = np.searchsorted(x, 1.0)
+        assert f[idx] == pytest.approx(0.5, abs=0.05)
+
+    def test_monotone_between_zero_and_one(self):
+        rng = np.random.default_rng(0)
+        x, f = latency_cdf(rng.exponential(1.0, 500), qos_target=2.0)
+        assert np.all(np.diff(f) >= 0)
+        assert f[0] >= 0.0 and f[-1] <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            latency_cdf(np.array([1.0]), qos_target=0.0)
+
+
+class TestPeakLoadSearch:
+    def test_finds_known_threshold(self):
+        # synthetic deployment: meets QoS iff rate <= 17.3
+        def build_and_run(rate):
+            lat = 0.5 if rate <= 17.3 else 2.0
+            return fake_metrics([lat] * 100, qos=1.0)
+
+        peak = peak_load_search(build_and_run, qos_target=1.0)
+        assert peak == pytest.approx(17.3, rel=0.05)
+
+    def test_zero_when_even_low_rate_fails(self):
+        def build_and_run(rate):
+            return fake_metrics([5.0] * 100, qos=1.0)
+
+        assert peak_load_search(build_and_run, qos_target=1.0) == 0.0
+
+    def test_hi_cap_respected(self):
+        def build_and_run(rate):
+            return fake_metrics([0.1] * 100, qos=1.0)
+
+        peak = peak_load_search(build_and_run, qos_target=1.0, hi=64.0)
+        assert peak == pytest.approx(64.0, rel=0.05)
+
+    def test_too_few_completions_counts_as_failure(self):
+        def build_and_run(rate):
+            return fake_metrics([0.1] * 10, qos=1.0)  # < 50 samples
+
+        assert peak_load_search(build_and_run, qos_target=1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            peak_load_search(lambda r: fake_metrics([1.0]), 1.0, lo=0.0)

@@ -1,0 +1,38 @@
+"""Multi-service portfolio extension."""
+
+import pytest
+
+from repro.core.config import AmoebaConfig
+from repro.experiments.portfolio import replace_peak, run_portfolio
+from repro.workloads.traces import DiurnalTrace
+
+
+def test_replace_peak_scales_only_the_peak():
+    base = DiurnalTrace(peak_rate=10.0, day=1800.0, phase=100.0)
+    scaled = replace_peak(base, 0.5)
+    assert scaled.peak_rate == 5.0
+    assert scaled.day == base.day
+    assert scaled.phase == base.phase
+
+
+def test_two_service_portfolio_shares_one_platform():
+    rt, traces = run_portfolio(
+        day=900.0,
+        seed=3,
+        names=("float", "dd"),
+        config=AmoebaConfig(min_sample_period=10.0, max_sample_period=10.0, min_dwell=60.0),
+    )
+    assert set(traces) == {"float", "dd"}
+    assert set(rt.services) == {"float", "dd"}
+    # both are registered on the same serverless pool, beside the meters
+    registered = set(rt.serverless.pool.registered())
+    assert {"float", "dd"}.issubset(registered)
+    for name, svc in rt.services.items():
+        assert svc.metrics.completed > 200, name
+        assert svc.metrics.exact_percentile(95) <= svc.spec.qos_target * 1.1, name
+
+
+def test_portfolio_phases_staggered():
+    _rt, traces = run_portfolio(day=900.0, seed=3, names=("float", "matmul", "dd"))
+    phases = {t.phase for t in traces.values()}
+    assert len(phases) == 3

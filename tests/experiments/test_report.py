@@ -1,0 +1,53 @@
+"""Table rendering."""
+
+import pytest
+
+from repro.experiments.report import FigureResult, render_table
+
+
+def test_render_alignment():
+    text = render_table(["name", "value"], [["a", 1.0], ["longer", 2.5]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert "------" in lines[1]
+    assert lines[2].split() == ["a", "1.000"]
+    assert lines[3].split() == ["longer", "2.500"]
+
+
+def test_render_with_title():
+    text = render_table(["a"], [[1]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_render_floatfmt():
+    text = render_table(["x"], [[3.14159]], floatfmt=".1f")
+    assert "3.1" in text and "3.14" not in text
+
+
+def test_render_mixed_types():
+    text = render_table(["a", "b", "c"], [["s", 2, True]])
+    assert "s" in text and "2" in text and "True" in text
+
+
+def test_row_width_mismatch_raises():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [["only one"]])
+
+
+def test_figure_result_text_includes_notes():
+    fr = FigureResult(
+        figure="Fig. X",
+        title="demo",
+        headers=["k"],
+        rows=[["v"]],
+        notes="a note",
+    )
+    text = fr.text()
+    assert text.startswith("Fig. X: demo")
+    assert text.endswith("a note")
+
+
+def test_figure_result_extras_roundtrip():
+    fr = FigureResult("F", "t", ["h"], [[1]], extras={"arr": [1, 2, 3]})
+    assert fr.extras["arr"] == [1, 2, 3]

@@ -1,0 +1,140 @@
+"""IaaS service lifecycle and serving."""
+
+import pytest
+
+from repro.iaas.platform import IaaSPlatform
+from repro.iaas.service import IaaSService, ServiceState
+from repro.iaas.sizing import size_service
+from repro.sim.environment import Environment
+from repro.sim.rng import RngRegistry
+from repro.telemetry import ServiceMetrics
+from repro.workloads.functionbench import benchmark
+from repro.workloads.loadgen import Query
+
+
+def make_service(env, rng, name="float", peak=30.0, metrics=None):
+    spec = benchmark(name)
+    sizing = size_service(spec, peak)
+    return IaaSService(env, spec, sizing, rng, metrics=metrics)
+
+
+def query(env, n=0):
+    return Query(qid=n, service="float", t_submit=env.now)
+
+
+class TestLifecycle:
+    def test_instant_deploy(self, env, rng):
+        svc = make_service(env, rng)
+        ready = svc.deploy(instant=True)
+        assert ready.triggered
+        assert svc.state is ServiceState.RUNNING
+        assert svc.ledger.current_cores == svc.sizing.rented_cores
+
+    def test_boot_delay(self, env, rng):
+        svc = make_service(env, rng)
+        ready = svc.deploy()
+        assert svc.state is ServiceState.BOOTING
+        env.run(until=ready)
+        assert env.now > 10.0  # VM boot takes tens of seconds
+        assert svc.state is ServiceState.RUNNING
+
+    def test_double_deploy_raises(self, env, rng):
+        svc = make_service(env, rng)
+        svc.deploy(instant=True)
+        with pytest.raises(RuntimeError):
+            svc.deploy()
+
+    def test_undeploy_releases_resources(self, env, rng):
+        svc = make_service(env, rng)
+        svc.deploy(instant=True)
+        done = svc.undeploy()
+        assert done.triggered  # nothing in flight
+        assert svc.state is ServiceState.STOPPED
+        assert svc.ledger.current_cores == 0.0
+
+    def test_undeploy_waits_for_drain(self, env, rng):
+        svc = make_service(env, rng)
+        svc.deploy(instant=True)
+        svc.invoke(query(env))
+        done = svc.undeploy()
+        assert not done.triggered
+        assert svc.state is ServiceState.DRAINING
+        env.run(until=done)
+        assert svc.state is ServiceState.STOPPED
+        assert svc.completions == 1
+
+    def test_undeploy_while_stopped_raises(self, env, rng):
+        svc = make_service(env, rng)
+        with pytest.raises(RuntimeError):
+            svc.undeploy()
+
+    def test_redeploy_after_drain(self, env, rng):
+        svc = make_service(env, rng)
+        svc.deploy(instant=True)
+        env.run(until=svc.undeploy())
+        ready = svc.deploy(instant=True)
+        assert ready.triggered
+        assert svc.state is ServiceState.RUNNING
+
+
+class TestServing:
+    def test_invoke_while_stopped_raises(self, env, rng):
+        svc = make_service(env, rng)
+        with pytest.raises(RuntimeError):
+            svc.invoke(query(env))
+
+    def test_query_served_and_recorded(self, env, rng):
+        metrics = ServiceMetrics("float", benchmark("float").qos_target)
+        svc = make_service(env, rng, metrics=metrics)
+        svc.deploy(instant=True)
+        q = query(env)
+        svc.invoke(q)
+        env.run(until=5.0)
+        assert q.served_by == "iaas"
+        assert q.latency < 0.2
+        assert metrics.completed == 1
+
+    def test_worker_slots_queue_excess(self, env, rng):
+        svc = make_service(env, rng)
+        svc.deploy(instant=True)
+        n = svc.sizing.workers
+        qs = [query(env, i) for i in range(3 * n)]
+        for q in qs:
+            svc.invoke(q)
+        env.run(until=30.0)
+        waits = [q.breakdown["queue"] for q in qs]
+        assert max(waits) > 0.0  # someone queued
+        assert all(q.t_complete is not None for q in qs)
+
+    def test_draining_serves_inflight_only(self, env, rng):
+        svc = make_service(env, rng)
+        svc.deploy(instant=True)
+        svc.invoke(query(env))
+        svc.undeploy()
+        # new invocations during draining are allowed (engine routes away)
+        svc.invoke(query(env, 1))
+        env.run(until=10.0)
+        assert svc.completions == 2
+        assert svc.state is ServiceState.STOPPED
+
+
+class TestUtilization:
+    def test_mean_cpu_utilization_positive_under_load(self, env, rng):
+        svc = make_service(env, rng)
+        svc.deploy(instant=True)
+        for i in range(20):
+            svc.invoke(query(env, i))
+        env.run(until=10.0)
+        assert 0.0 < svc.mean_cpu_utilization() < 1.0
+
+    def test_platform_deploy_and_route(self, env, rng):
+        platform = IaaSPlatform(env, rng)
+        metrics = ServiceMetrics("float", benchmark("float").qos_target)
+        platform.deploy(benchmark("float"), peak_rate=30.0, metrics=metrics)
+        platform.invoke(query(env))
+        env.run(until=5.0)
+        assert metrics.completed == 1
+        with pytest.raises(KeyError):
+            platform.service("ghost")
+        with pytest.raises(ValueError):
+            platform.deploy(benchmark("float"), peak_rate=30.0)

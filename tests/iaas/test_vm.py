@@ -1,0 +1,36 @@
+"""VM flavors."""
+
+import pytest
+
+from repro.cluster.spec import NodeSpec
+from repro.iaas.vm import DEFAULT_FLAVOR, VMFlavor
+
+
+def test_default_flavor():
+    assert DEFAULT_FLAVOR.cores == 4.0
+    assert DEFAULT_FLAVOR.memory_mb == 8192.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        VMFlavor(cores=0.0)
+    with pytest.raises(ValueError):
+        VMFlavor(boot_median=0.0)
+    with pytest.raises(ValueError):
+        VMFlavor(boot_sigma=-0.1)
+
+
+def test_slice_of_is_proportional():
+    node = NodeSpec(cores=40, memory_mb=40960.0, disk_mbps=2000.0, net_mbps=4000.0)
+    f = VMFlavor.slice_of(node, cores=4.0)
+    assert f.memory_mb == pytest.approx(4096.0)
+    assert f.io_mbps == pytest.approx(200.0)
+    assert f.net_mbps == pytest.approx(400.0)
+
+
+def test_slice_of_validation():
+    node = NodeSpec()
+    with pytest.raises(ValueError):
+        VMFlavor.slice_of(node, cores=0.0)
+    with pytest.raises(ValueError):
+        VMFlavor.slice_of(node, cores=node.cores + 1)

@@ -1,0 +1,42 @@
+"""Serverless platform configuration validation."""
+
+import pytest
+
+from repro.serverless.config import ServerlessConfig
+
+
+def test_defaults_are_valid():
+    cfg = ServerlessConfig()
+    assert cfg.container_memory_mb == 256.0
+    assert 1.0 <= cfg.cold_start_median <= 3.0  # paper SV-A: one to three seconds
+
+
+def test_max_containers_by_memory():
+    cfg = ServerlessConfig(pool_memory_mb=1024.0, container_memory_mb=256.0)
+    assert cfg.max_containers_by_memory == 4
+
+
+def test_pool_must_fit_one_container():
+    with pytest.raises(ValueError):
+        ServerlessConfig(pool_memory_mb=100.0, container_memory_mb=256.0)
+
+
+def test_concurrency_limit_validation():
+    with pytest.raises(ValueError):
+        ServerlessConfig(concurrency_limit=0)
+
+
+def test_positive_fields_validated():
+    with pytest.raises(ValueError):
+        ServerlessConfig(cold_start_median=0.0)
+    with pytest.raises(ValueError):
+        ServerlessConfig(keep_alive=0.0)
+    with pytest.raises(ValueError):
+        ServerlessConfig(warm_load_mbps=-1.0)
+
+
+def test_nonnegative_fields_validated():
+    with pytest.raises(ValueError):
+        ServerlessConfig(idle_cpu=-0.1)
+    with pytest.raises(ValueError):
+        ServerlessConfig(cold_start_sigma=-0.1)

@@ -1,0 +1,98 @@
+"""Environment scheduling semantics."""
+
+import math
+
+import pytest
+
+from repro.sim.environment import EmptySchedule, Environment
+
+
+def test_clock_starts_at_initial_time():
+    env = Environment(initial_time=100.0)
+    assert env.now == 100.0
+    env.timeout(5.0)
+    env.run()
+    assert env.now == 105.0
+
+
+def test_run_until_time_stops_exactly(env):
+    env.timeout(10.0)
+    env.run(until=4.0)
+    assert env.now == 4.0
+
+
+def test_run_until_time_does_not_process_later_events(env):
+    fired = []
+    ev = env.timeout(5.0)
+    assert ev.callbacks is not None
+    ev.callbacks.append(lambda e: fired.append(env.now))
+    env.run(until=5.0)
+    # the stop event has priority below event processing at t=5
+    assert fired == []
+    env.run()
+    assert fired == [5.0]
+
+
+def test_run_until_past_raises(env):
+    env.timeout(10.0)
+    env.run(until=8.0)
+    with pytest.raises(ValueError):
+        env.run(until=3.0)
+
+
+def test_run_until_event_returns_value(env):
+    ev = env.timeout(2.5, value="done")
+    assert env.run(until=ev) == "done"
+    assert env.now == 2.5
+
+
+def test_run_until_already_processed_event(env):
+    ev = env.timeout(1.0, value=7)
+    env.run()
+    assert env.run(until=ev) == 7
+
+
+def test_run_until_event_that_never_fires(env):
+    pending = env.event()
+    env.timeout(1.0)
+    with pytest.raises(RuntimeError, match="ran out of events"):
+        env.run(until=pending)
+
+
+def test_run_drains_heap(env):
+    env.timeout(1.0)
+    env.timeout(2.0)
+    env.run()
+    assert env.peek() == math.inf
+
+
+def test_step_empty_raises(env):
+    with pytest.raises(EmptySchedule):
+        env.step()
+
+
+def test_peek_returns_next_time(env):
+    env.timeout(3.0)
+    env.timeout(1.5)
+    assert env.peek() == 1.5
+
+
+def test_schedule_callback_runs_fn(env):
+    hits = []
+    env.schedule_callback(2.0, lambda: hits.append(env.now))
+    env.run()
+    assert hits == [2.0]
+
+
+def test_clock_is_monotone_across_events(env):
+    seen = []
+
+    def proc(env):
+        for _ in range(10):
+            yield env.timeout(0.1)
+            seen.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == sorted(seen)
+    assert len(seen) == 10

@@ -1,0 +1,153 @@
+"""Event primitive semantics."""
+
+import pytest
+
+from repro.sim.environment import Environment
+from repro.sim.events import AllOf, AnyOf, Event, EventAlreadyTriggered, Timeout
+
+
+def test_event_starts_pending(env):
+    ev = env.event()
+    assert not ev.triggered
+    assert not ev.processed
+
+
+def test_value_unavailable_before_trigger(env):
+    ev = env.event()
+    with pytest.raises(AttributeError):
+        _ = ev.value
+
+
+def test_succeed_carries_value(env):
+    ev = env.event()
+    ev.succeed(42)
+    assert ev.triggered
+    assert ev.value == 42
+    env.run()
+    assert ev.processed
+
+
+def test_succeed_twice_raises(env):
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(EventAlreadyTriggered):
+        ev.succeed()
+
+
+def test_fail_then_succeed_raises(env):
+    ev = env.event()
+    ev.fail(RuntimeError("boom"))
+    ev.defuse()
+    with pytest.raises(EventAlreadyTriggered):
+        ev.succeed()
+
+
+def test_fail_requires_exception(env):
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_unhandled_failure_escapes_run(env):
+    ev = env.event()
+    ev.fail(ValueError("unhandled"))
+    with pytest.raises(ValueError, match="unhandled"):
+        env.run()
+
+
+def test_defused_failure_does_not_escape(env):
+    ev = env.event()
+    ev.fail(ValueError("handled"))
+    ev.defuse()
+    env.run()  # no raise
+    assert not ev.ok
+
+
+def test_timeout_fires_at_delay(env):
+    t = env.timeout(5.0, value="hello")
+    env.run()
+    assert env.now == 5.0
+    assert t.value == "hello"
+
+
+def test_timeout_negative_delay_rejected(env):
+    with pytest.raises(ValueError):
+        Timeout(env, -1.0)
+
+
+def test_timeouts_fire_in_order(env):
+    order = []
+    for delay in (3.0, 1.0, 2.0):
+        ev = env.timeout(delay, value=delay)
+        assert ev.callbacks is not None
+        ev.callbacks.append(lambda e: order.append(e.value))
+    env.run()
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_same_time_events_fifo(env):
+    order = []
+    for i in range(5):
+        ev = env.timeout(1.0, value=i)
+        assert ev.callbacks is not None
+        ev.callbacks.append(lambda e: order.append(e.value))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_all_of_waits_for_all(env):
+    a, b = env.timeout(1.0, "a"), env.timeout(3.0, "b")
+    cond = AllOf(env, [a, b])
+    env.run(until=cond)
+    assert env.now == 3.0
+    assert set(cond.value.values()) == {"a", "b"}
+
+
+def test_any_of_fires_on_first(env):
+    a, b = env.timeout(1.0, "a"), env.timeout(3.0, "b")
+    cond = AnyOf(env, [a, b])
+    env.run(until=cond)
+    assert env.now == 1.0
+    assert list(cond.value.values()) == ["a"]
+
+
+def test_empty_all_of_fires_immediately(env):
+    cond = AllOf(env, [])
+    assert cond.triggered
+    assert cond.value == {}
+
+
+def test_all_of_propagates_failure(env):
+    good = env.timeout(1.0)
+    bad = env.event()
+    bad.fail(RuntimeError("child failed"))
+    cond = AllOf(env, [good, bad])
+    cond.defuse()
+    env.run()
+    assert not cond.ok
+    assert isinstance(cond.value, RuntimeError)
+
+
+def test_condition_rejects_foreign_events(env):
+    other = Environment()
+    foreign = other.timeout(1.0)
+    with pytest.raises(ValueError):
+        AllOf(env, [env.timeout(1.0), foreign])
+
+
+def test_all_of_with_already_processed_children(env):
+    a = env.timeout(1.0, "a")
+    env.run()
+    b = env.timeout(1.0, "b")
+    cond = AllOf(env, [a, b])
+    env.run(until=cond)
+    assert set(cond.value.values()) == {"a", "b"}
+
+
+def test_trigger_copies_state(env):
+    src = env.event()
+    dst = env.event()
+    src.succeed("payload")
+    dst.trigger(src)
+    assert dst.triggered
+    assert dst.value == "payload"

@@ -1,0 +1,173 @@
+"""Process semantics: sequencing, completion, interrupts, errors."""
+
+import pytest
+
+from repro.sim.events import Interrupt
+from repro.sim.process import Process
+
+
+def test_process_runs_to_completion(env):
+    log = []
+
+    def proc(env):
+        yield env.timeout(1.0)
+        log.append(env.now)
+        yield env.timeout(2.0)
+        log.append(env.now)
+        return "finished"
+
+    p = env.process(proc(env))
+    result = env.run(until=p)
+    assert log == [1.0, 3.0]
+    assert result == "finished"
+    assert not p.is_alive
+
+
+def test_process_requires_generator(env):
+    with pytest.raises(TypeError):
+        Process(env, lambda: None)  # type: ignore[arg-type]
+
+
+def test_process_receives_event_value(env):
+    got = []
+
+    def proc(env):
+        v = yield env.timeout(1.0, value="payload")
+        got.append(v)
+
+    env.process(proc(env))
+    env.run()
+    assert got == ["payload"]
+
+
+def test_processes_wait_on_each_other(env):
+    def child(env):
+        yield env.timeout(2.0)
+        return 21
+
+    def parent(env):
+        v = yield env.process(child(env))
+        return v * 2
+
+    p = env.process(parent(env))
+    assert env.run(until=p) == 42
+
+
+def test_yield_non_event_raises(env):
+    def proc(env):
+        yield 42  # not an event
+
+    env.process(proc(env))
+    with pytest.raises(TypeError, match="may only yield events"):
+        env.run()
+
+
+def test_process_exception_propagates_to_waiter(env):
+    def child(env):
+        yield env.timeout(1.0)
+        raise ValueError("child died")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    p = env.process(parent(env))
+    assert env.run(until=p) == "caught child died"
+
+
+def test_unwaited_process_exception_escapes(env):
+    def proc(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("nobody listening")
+
+    env.process(proc(env))
+    with pytest.raises(RuntimeError, match="nobody listening"):
+        env.run()
+
+
+def test_interrupt_wakes_sleeping_process(env):
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as i:
+            log.append((env.now, i.cause))
+
+    p = env.process(sleeper(env))
+
+    def interrupter(env):
+        yield env.timeout(3.0)
+        p.interrupt("wake up")
+
+    env.process(interrupter(env))
+    env.run()
+    assert log == [(3.0, "wake up")]
+
+
+def test_interrupt_finished_process_raises(env):
+    def quick(env):
+        yield env.timeout(1.0)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(RuntimeError, match="finished"):
+        p.interrupt()
+
+
+def test_interrupted_process_can_continue(env):
+    log = []
+
+    def worker(env):
+        try:
+            yield env.timeout(50.0)
+        except Interrupt:
+            pass
+        yield env.timeout(1.0)
+        log.append(env.now)
+
+    p = env.process(worker(env))
+    env.schedule_callback(5.0, lambda: p.interrupt())
+    env.run()
+    assert log == [6.0]
+
+
+def test_waiting_on_already_processed_event(env):
+    def proc(env):
+        t = env.timeout(1.0, value="early")
+        yield env.timeout(3.0)
+        v = yield t  # t fired long ago
+        return v
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "early"
+    assert env.now == 3.0
+
+
+def test_two_processes_interleave(env):
+    log = []
+
+    def ping(env):
+        for _ in range(3):
+            yield env.timeout(2.0)
+            log.append(("ping", env.now))
+
+    def pong(env):
+        yield env.timeout(1.0)
+        for _ in range(3):
+            yield env.timeout(2.0)
+            log.append(("pong", env.now))
+
+    env.process(ping(env))
+    env.process(pong(env))
+    env.run()
+    assert log == [
+        ("ping", 2.0),
+        ("pong", 3.0),
+        ("ping", 4.0),
+        ("pong", 5.0),
+        ("ping", 6.0),
+        ("pong", 7.0),
+    ]

@@ -1,0 +1,43 @@
+"""The runnable examples stay runnable.
+
+Only the fast examples run here (the heavier multi-system tours are
+exercised by the benchmark suite through the same code paths).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    argv = sys.argv
+    sys.argv = [name]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "completed queries" in out
+    assert "deploy-mode switches" in out
+    assert "reduction" in out
+
+
+def test_contention_profiling(capsys):
+    out = run_example("contention_profiling.py", capsys)
+    assert "meter profiles" in out
+    assert "hidden pressure" in out
+    assert "lambda(mu)" in out
+
+
+def test_capacity_planning(capsys):
+    out = run_example("capacity_planning.py", capsys)
+    assert "just-enough rentals" in out
+    assert "containers needed" in out

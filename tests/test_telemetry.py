@@ -1,0 +1,119 @@
+"""Shared per-service telemetry."""
+
+import math
+
+import pytest
+
+from repro.telemetry import LoadEstimator, ServiceMetrics
+from repro.workloads.loadgen import Query
+
+
+def make_query(lat, canary=False, cold=0.0, queue=0.0, served_by="serverless"):
+    q = Query(qid=0, service="s", t_submit=0.0, canary=canary)
+    q.t_complete = lat
+    q.breakdown = {"cold": cold, "queue": queue, "exec": lat - cold - queue}
+    q.served_by = served_by
+    return q
+
+
+class TestLoadEstimator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadEstimator(window=0.0)
+
+    def test_rate_before_any_arrival(self):
+        assert LoadEstimator().rate(10.0) == 0.0
+
+    def test_steady_rate(self):
+        est = LoadEstimator(window=10.0)
+        for i in range(200):
+            est.record(i * 0.5)  # 2 qps for 100 s
+        assert est.rate(100.0) == pytest.approx(2.0, rel=0.1)
+
+    def test_window_evicts_old(self):
+        est = LoadEstimator(window=10.0)
+        for i in range(100):
+            est.record(float(i) * 0.1)  # burst in [0, 10)
+        assert est.rate(50.0) == 0.0
+
+    def test_early_rate_uses_elapsed_span(self):
+        est = LoadEstimator(window=60.0)
+        est.record(0.0)
+        est.record(1.0)
+        # only 2 s elapsed: rate ~1 qps, not 2/60
+        assert est.rate(2.0) == pytest.approx(1.0)
+
+    def test_total_counts_everything(self):
+        est = LoadEstimator(window=1.0)
+        for i in range(50):
+            est.record(float(i))
+        assert est.total == 50
+
+
+class TestServiceMetrics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceMetrics("s", qos_target=0.0)
+
+    def test_violation_accounting(self):
+        m = ServiceMetrics("s", qos_target=1.0)
+        m.record_completion(make_query(0.5))
+        m.record_completion(make_query(2.0))
+        m.record_completion(make_query(0.9))
+        assert m.completed == 3
+        assert m.violations == 1
+        assert m.violation_fraction == pytest.approx(1 / 3)
+
+    def test_canaries_not_counted_in_qos(self):
+        m = ServiceMetrics("s", qos_target=1.0)
+        m.record_completion(make_query(5.0, canary=True))
+        assert m.completed == 0
+        assert m.violation_fraction == 0.0
+        assert m.mean_canary_latency() == pytest.approx(5.0)
+
+    def test_canary_feedback_excludes_cold_and_queue(self):
+        m = ServiceMetrics("s", qos_target=1.0)
+        m.record_completion(make_query(3.0, canary=True, cold=1.5, queue=1.0))
+        assert m.mean_canary_latency() == pytest.approx(0.5)
+
+    def test_recent_excludes_cold_and_queue_but_latencies_do_not(self):
+        m = ServiceMetrics("s", qos_target=1.0)
+        m.record_completion(make_query(3.0, cold=1.5, queue=1.0))
+        assert list(m.recent) == [pytest.approx(0.5)]
+        assert m.latencies.values()[0] == pytest.approx(3.0)
+
+    def test_mean_canary_nan_when_empty(self):
+        assert math.isnan(ServiceMetrics("s", 1.0).mean_canary_latency())
+
+    def test_breakdown_fractions(self):
+        m = ServiceMetrics("s", qos_target=10.0)
+        q = make_query(1.0)
+        q.breakdown = {"proc": 0.1, "exec": 0.8, "post": 0.1}
+        m.record_completion(q)
+        f = m.breakdown_fractions()
+        assert f["proc"] == pytest.approx(0.1)
+        assert f["exec"] == pytest.approx(0.8)
+        assert sum(f.values()) == pytest.approx(1.0)
+
+    def test_breakdown_fractions_empty(self):
+        f = ServiceMetrics("s", 1.0).breakdown_fractions()
+        assert all(v == 0.0 for v in f.values())
+
+    def test_served_by_counts(self):
+        m = ServiceMetrics("s", qos_target=10.0)
+        m.record_completion(make_query(1.0, served_by="iaas"))
+        m.record_completion(make_query(1.0, served_by="serverless"))
+        m.record_completion(make_query(1.0, served_by="iaas"))
+        assert m.served_by == {"iaas": 2, "serverless": 1}
+
+    def test_p95_estimates_agree(self):
+        m = ServiceMetrics("s", qos_target=100.0)
+        for i in range(2000):
+            m.record_completion(make_query(float(i % 100) / 100.0))
+        assert m.p95_estimate == pytest.approx(m.exact_percentile(95), rel=0.1)
+
+    def test_arrival_recording(self):
+        m = ServiceMetrics("s", qos_target=1.0)
+        m.record_arrival(0.0)
+        m.record_arrival(1.0, canary=True)  # excluded from load
+        assert m.load.total == 1

@@ -1,0 +1,100 @@
+"""Table III benchmark specs."""
+
+import pytest
+
+from repro.cluster.resource_model import DemandVector, SensitivityVector
+from repro.workloads.functionbench import (
+    BENCHMARKS,
+    MicroserviceSpec,
+    benchmark,
+    benchmark_names,
+)
+
+
+def test_all_five_present():
+    assert benchmark_names() == ("float", "matmul", "linpack", "dd", "cloud_stor")
+    assert set(BENCHMARKS) == set(benchmark_names())
+
+
+def test_unknown_benchmark_raises():
+    with pytest.raises(KeyError):
+        benchmark("nope")
+
+
+def test_table_iii_cpu_ordering():
+    """float/matmul/linpack high CPU sensitivity, dd medium, cloud_stor low."""
+    cpu = {n: benchmark(n).sensitivity.cpu for n in benchmark_names()}
+    for high in ("float", "matmul", "linpack"):
+        assert cpu[high] >= 1.0
+    assert cpu["float"] > cpu["dd"] > cpu["cloud_stor"]
+
+
+def test_table_iii_io_ordering():
+    """dd high disk IO, cloud_stor medium, CPU trio none."""
+    io = {n: benchmark(n).sensitivity.io for n in benchmark_names()}
+    assert io["dd"] > io["cloud_stor"] > io["float"]
+    assert benchmark("dd").demand.io_mbps > benchmark("cloud_stor").demand.io_mbps
+
+
+def test_table_iii_network_ordering():
+    """only cloud_stor is network-sensitive."""
+    net = {n: benchmark(n).sensitivity.net for n in benchmark_names()}
+    assert net["cloud_stor"] > 1.0
+    for other in ("float", "matmul", "linpack", "dd"):
+        assert net[other] < 0.2
+    assert benchmark("cloud_stor").demand.net_mbps > 50.0
+
+
+def test_qos_above_exec_time():
+    for name in benchmark_names():
+        s = benchmark(name)
+        assert s.qos_target > s.exec_time
+
+
+def test_float_has_tightest_relative_qos():
+    """The paper singles float out for its tight QoS target."""
+    ratios = {n: benchmark(n).qos_target / benchmark(n).exec_time for n in benchmark_names()}
+    assert ratios["float"] == min(ratios.values())
+
+
+def test_spec_validation_qos():
+    with pytest.raises(ValueError, match="does not even cover"):
+        MicroserviceSpec(
+            name="bad",
+            exec_time=1.0,
+            exec_sigma=0.1,
+            demand=DemandVector(cpu=1.0),
+            sensitivity=SensitivityVector(),
+            qos_target=0.5,
+        )
+
+
+def test_spec_validation_exec():
+    with pytest.raises(ValueError):
+        MicroserviceSpec(
+            name="bad",
+            exec_time=0.0,
+            exec_sigma=0.1,
+            demand=DemandVector(cpu=1.0),
+            sensitivity=SensitivityVector(),
+            qos_target=1.0,
+        )
+
+
+def test_with_qos():
+    s = benchmark("float").with_qos(9.0)
+    assert s.qos_target == 9.0
+    assert s.exec_time == benchmark("float").exec_time
+
+
+def test_scaled():
+    s = benchmark("matmul").scaled(2.0)
+    assert s.exec_time == pytest.approx(0.7)
+    assert s.qos_target == pytest.approx(3.2)
+    with pytest.raises(ValueError):
+        benchmark("matmul").scaled(0.0)
+
+
+def test_memory_at_least_container_size():
+    for name in benchmark_names():
+        assert benchmark(name).memory_mb >= 256.0

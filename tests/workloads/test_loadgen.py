@@ -1,0 +1,83 @@
+"""Open-loop Poisson load generation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.environment import Environment
+from repro.sim.rng import RngRegistry
+from repro.workloads.loadgen import LoadGenerator, Query
+from repro.workloads.traces import ConstantTrace, StepTrace
+
+
+def collect(trace, duration, seed=1):
+    env = Environment()
+    rng = RngRegistry(seed=seed)
+    queries = []
+    LoadGenerator(env, "svc", trace, queries.append, rng)
+    env.run(until=duration)
+    return queries
+
+
+def test_constant_rate_count():
+    qs = collect(ConstantTrace(10.0), 1000.0)
+    # Poisson(10000): within 5 sigma
+    assert abs(len(qs) - 10000) < 5 * np.sqrt(10000)
+
+
+def test_queries_are_stamped():
+    qs = collect(ConstantTrace(5.0), 50.0)
+    assert all(q.service == "svc" for q in qs)
+    assert all(not q.canary for q in qs)
+    ids = [q.qid for q in qs]
+    assert ids == sorted(ids)
+    times = [q.t_submit for q in qs]
+    assert times == sorted(times)
+
+
+def test_exponential_interarrivals():
+    qs = collect(ConstantTrace(20.0), 2000.0)
+    gaps = np.diff([q.t_submit for q in qs])
+    assert np.mean(gaps) == pytest.approx(1 / 20.0, rel=0.05)
+    # CV of exponential is 1
+    assert np.std(gaps) / np.mean(gaps) == pytest.approx(1.0, abs=0.1)
+
+
+def test_thinning_follows_step_shape():
+    trace = StepTrace([(0.0, 2.0), (500.0, 20.0)])
+    qs = collect(trace, 1000.0)
+    first = sum(1 for q in qs if q.t_submit < 500.0)
+    second = len(qs) - first
+    assert first == pytest.approx(1000, abs=5 * np.sqrt(1000))
+    assert second == pytest.approx(10000, abs=5 * np.sqrt(10000))
+
+
+def test_zero_rate_generates_nothing():
+    qs = collect(ConstantTrace(0.0), 100.0)
+    assert qs == []
+
+
+def test_deterministic_given_seed():
+    a = [q.t_submit for q in collect(ConstantTrace(5.0), 100.0, seed=3)]
+    b = [q.t_submit for q in collect(ConstantTrace(5.0), 100.0, seed=3)]
+    assert a == b
+
+
+def test_stop_halts_generation():
+    env = Environment()
+    rng = RngRegistry(seed=1)
+    queries = []
+    gen = LoadGenerator(env, "svc", ConstantTrace(10.0), queries.append, rng)
+    env.run(until=10.0)
+    gen.stop()
+    count = len(queries)
+    env.run(until=100.0)
+    assert len(queries) == count
+    gen.stop()  # idempotent on a dead process
+
+
+def test_query_latency_requires_completion():
+    q = Query(qid=0, service="s", t_submit=1.0)
+    with pytest.raises(RuntimeError):
+        _ = q.latency
+    q.t_complete = 3.5
+    assert q.latency == pytest.approx(2.5)

@@ -1,0 +1,131 @@
+"""Load-shape generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.traces import (
+    BurstTrace,
+    ConstantTrace,
+    DiurnalTrace,
+    StepTrace,
+)
+
+
+class TestConstantTrace:
+    def test_rate(self):
+        t = ConstantTrace(5.0)
+        assert t.rate(0) == 5.0
+        assert t.rate(1e6) == 5.0
+        assert t.peak_rate == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantTrace(-1.0)
+
+    def test_mean_rate(self):
+        assert ConstantTrace(3.0).mean_rate(0, 100) == pytest.approx(3.0)
+
+
+class TestStepTrace:
+    def test_steps(self):
+        t = StepTrace([(0.0, 1.0), (10.0, 5.0), (20.0, 2.0)])
+        assert t.rate(5.0) == 1.0
+        assert t.rate(10.0) == 5.0
+        assert t.rate(25.0) == 2.0
+        assert t.peak_rate == 5.0
+
+    def test_before_first_breakpoint(self):
+        t = StepTrace([(10.0, 5.0)])
+        assert t.rate(5.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepTrace([])
+        with pytest.raises(ValueError):
+            StepTrace([(10.0, 1.0), (5.0, 2.0)])
+        with pytest.raises(ValueError):
+            StepTrace([(0.0, -1.0)])
+
+
+class TestDiurnalTrace:
+    def test_bounds(self):
+        t = DiurnalTrace(peak_rate=10.0, low_fraction=0.3, seed=1)
+        rates = [t.rate(s) for s in np.linspace(0, 86400, 500)]
+        assert max(rates) <= 10.0 + 1e-9
+        assert min(rates) >= 0.3 * 10.0 * 0.7  # noise can dip below the floor a bit
+
+    def test_peak_reached_near_evening(self):
+        t = DiurnalTrace(peak_rate=10.0, noise_sigma=0.0)
+        evening = t.rate(18 * 3600.0)
+        night = t.rate(3 * 3600.0)
+        assert evening > 0.95 * 10.0
+        assert night < 0.45 * 10.0
+
+    def test_two_peaks(self):
+        t = DiurnalTrace(peak_rate=10.0, noise_sigma=0.0, morning_fraction=0.8)
+        morning = t.rate(8.5 * 3600.0)
+        midday = t.rate(13 * 3600.0)
+        assert morning > midday
+
+    def test_periodic(self):
+        t = DiurnalTrace(peak_rate=10.0, seed=4)
+        assert t.rate(1000.0) == pytest.approx(t.rate(1000.0 + 86400.0))
+
+    def test_deterministic(self):
+        a = DiurnalTrace(peak_rate=10.0, seed=9)
+        b = DiurnalTrace(peak_rate=10.0, seed=9)
+        assert [a.rate(s) for s in range(0, 86400, 997)] == [
+            b.rate(s) for s in range(0, 86400, 997)
+        ]
+
+    def test_seed_changes_noise(self):
+        a = DiurnalTrace(peak_rate=10.0, seed=1)
+        b = DiurnalTrace(peak_rate=10.0, seed=2)
+        assert any(a.rate(s) != b.rate(s) for s in range(0, 86400, 3571))
+
+    def test_compressed_day(self):
+        t = DiurnalTrace(peak_rate=10.0, noise_sigma=0.0, day=7200.0)
+        # 18:00 of a 7200 s day is t = 5400
+        assert t.rate(5400.0) > 0.95 * 10.0
+        assert t.rate(5400.0 + 7200.0) == pytest.approx(t.rate(5400.0))
+
+    def test_phase_shift(self):
+        base = DiurnalTrace(peak_rate=10.0, noise_sigma=0.0)
+        shifted = DiurnalTrace(peak_rate=10.0, noise_sigma=0.0, phase=3600.0)
+        assert shifted.rate(17 * 3600.0) == pytest.approx(base.rate(18 * 3600.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalTrace(peak_rate=0.0)
+        with pytest.raises(ValueError):
+            DiurnalTrace(peak_rate=1.0, low_fraction=1.0)
+        with pytest.raises(ValueError):
+            DiurnalTrace(peak_rate=1.0, morning_fraction=0.0)
+        with pytest.raises(ValueError):
+            DiurnalTrace(peak_rate=1.0, noise_sigma=-0.1)
+        with pytest.raises(ValueError):
+            DiurnalTrace(peak_rate=1.0, day=0.0)
+
+    def test_mean_rate_between_low_and_peak(self):
+        t = DiurnalTrace(peak_rate=10.0, low_fraction=0.3, seed=1)
+        m = t.mean_rate(0, 86400)
+        assert 3.0 < m < 10.0
+
+
+class TestBurstTrace:
+    def test_burst_adds_rate(self):
+        t = BurstTrace(ConstantTrace(2.0), [(10.0, 5.0, 3.0)])
+        assert t.rate(5.0) == 2.0
+        assert t.rate(12.0) == 5.0
+        assert t.rate(15.0) == 2.0
+        assert t.peak_rate == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstTrace(ConstantTrace(1.0), [(0.0, 0.0, 1.0)])
+        with pytest.raises(ValueError):
+            BurstTrace(ConstantTrace(1.0), [(0.0, 1.0, -1.0)])
+
+    def test_mean_rate_interval_validation(self):
+        with pytest.raises(ValueError):
+            ConstantTrace(1.0).mean_rate(5.0, 5.0)
