@@ -10,6 +10,12 @@ record of these outputs.
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Every bench regenerates experiment-scale output: all are ``slow``."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture
 def regenerate(benchmark, capsys):
     """Run a figure regenerator once under the benchmark clock and print it."""

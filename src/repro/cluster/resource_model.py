@@ -19,12 +19,21 @@ Fig. 5).  The model has three properties the paper's analysis depends on:
 3.  **Executions are progress-based.**  Each execution carries its
     remaining *work* (seconds of uncontended execution).  When the active
     set changes, every execution's accumulated progress is banked and its
-    completion event rescheduled at the new rate, so latencies respond to
-    contention that arrives *mid-execution*.
+    rate recomputed, so latencies respond to contention that arrives
+    *mid-execution*.
+
+Completion scheduling is **single-timer** (DESIGN.md §6): all executions
+on a machine share one pressure vector, so between set changes each runs
+at a fixed rate and the next completion is simply ``min(work_left /
+rate)`` — one O(N) scan per rebalance, one timer per machine.  The
+previous timer is cancelled through the kernel's event-cancellation path
+rather than left to fire as a stale generation-guarded no-op, which keeps
+heap growth O(1) amortized per query instead of O(active set) per change.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import math
 from dataclasses import dataclass
@@ -159,18 +168,56 @@ class ContentionConfig:
 class _Execution:
     """Bookkeeping for one in-flight execution on a machine."""
 
-    __slots__ = ("eid", "demand", "sens", "work_left", "rate", "last_update", "done", "generation", "start")
+    __slots__ = ("eid", "demand", "sens", "work_left", "rate", "last_update", "done", "start")
 
-    def __init__(self, eid: int, demand: DemandVector, sens: SensitivityVector, work: float, done: Event):
+    def __init__(
+        self,
+        eid: int,
+        demand: DemandVector,
+        sens: SensitivityVector,
+        work: float,
+        done: Event,
+        now: float,
+    ):
         self.eid = eid
         self.demand = demand
         self.sens = sens
         self.work_left = work
         self.rate = 1.0
-        self.last_update = 0.0
+        self.last_update = now
         self.done = done
-        #: bumped on every reschedule; stale completion callbacks no-op
-        self.generation = 0
+        self.start = now
+
+
+class _CompletionTimer(Event):
+    """The machine's next-completion heap entry.
+
+    A slim Event subclass that dispatches straight to the machine's
+    completion handler — no callbacks list, no closure.  One of these is
+    armed per rebalance (and cancelled by the next), so its construction
+    cost is on the engine's hottest path.
+    """
+
+    __slots__ = ("machine",)
+
+    def __init__(self, env: Environment, delay: float, machine: "MachineModel"):
+        # flattened Event.__init__, enqueued at the default event priority
+        # exactly like the schedule_callback Timeout it replaces
+        self.env = env
+        self.callbacks = None
+        self._value = None
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self._defused = False
+        self._cancelled = False
+        self.machine = machine
+        env._seq += 1
+        heapq.heappush(env._heap, (env._now + delay, 1, env._seq, self))
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        self.machine._on_timer()
 
 
 class MachineModel:
@@ -204,6 +251,13 @@ class MachineModel:
         self._ids = itertools.count()
         self._demand_totals = [0.0, 0.0, 0.0]
         self._memory_in_use = 0.0
+        self._background_count = 0
+        #: the machine's single next-completion timer and its target
+        self._timer: Optional[Event] = None
+        self._timer_ex: Optional[_Execution] = None
+        #: perf-guard counters: timers armed / queries completed
+        self.timer_arms = 0
+        self.completed = 0
         # accounting taps
         self.cpu_in_use = TimeWeightedStats(env.now)
         self.io_in_use = TimeWeightedStats(env.now)
@@ -241,21 +295,73 @@ class MachineModel:
         if work <= 0:
             raise ValueError(f"work must be positive, got {work}")
         now = self.env.now
-        self._bank_progress(now)
         done = self.env.event()
-        ex = _Execution(next(self._ids), demand, sens, work, done)
-        ex.last_update = now
+        ex = _Execution(next(self._ids), demand, sens, work, done, now)
         self._active[ex.eid] = ex
         self._demand_totals[0] += demand.cpu
         self._demand_totals[1] += demand.io_mbps
         self._demand_totals[2] += demand.net_mbps
         self._memory_in_use += demand.memory_mb
-        ex.start = now
         self._rebalance(now)
         return done
 
-    def _bank_progress(self, now: float) -> None:
-        """Credit each active execution's progress up to ``now``."""
+    def _rebalance(self, now: float) -> None:
+        """Bank progress, recompute rates and re-arm the completion timer.
+
+        Called after every active-set or demand change.  Banking (credit
+        each execution's progress at its *old* rate up to ``now``) and the
+        rate refresh are fused into one pass over the active set: the two
+        computations are independent per execution, so interleaving them
+        produces bit-identical results to the former two-pass scheme.
+        """
+        # clamp accumulated float residue so an empty machine reads
+        # exactly zero pressure (additions and removals of the same
+        # demands do not cancel bitwise when interleaved)
+        if not self._active and not self._background_count:
+            # provably empty: snap exactly (the epsilon clamp below misses
+            # residues of 1e-9 and larger, e.g. after a 1e-9 demand leaves)
+            self._demand_totals[0] = self._demand_totals[1] = self._demand_totals[2] = 0.0
+            self._memory_in_use = 0.0
+        else:
+            for i in range(3):
+                if abs(self._demand_totals[i]) < 1e-9:
+                    self._demand_totals[i] = 0.0
+            if abs(self._memory_in_use) < 1e-9:
+                self._memory_in_use = 0.0
+        pressures = self.pressures()
+        cfg = self.config
+        # single O(N) pass: refresh every rate, find the earliest finisher.
+        # All executions share `pressures`, so between set changes each
+        # runs at a fixed rate and min(work_left / rate) IS the next
+        # completion — no per-execution timers needed.  Strict `<` keeps
+        # the tie-break on insertion (eid) order, matching the FIFO order
+        # the per-execution scheme produced.
+        #
+        # Rate fast path: g(p) depends only on the shared pressures, so it
+        # is evaluated once per axis, and executions with the same
+        # sensitivity vector (all invocations of one function share the
+        # spec's) hit a per-rebalance cache.  The arithmetic below mirrors
+        # ContentionConfig.slowdown term for term so the cached rates are
+        # bit-identical to cfg.slowdown()'s.
+        # g() unrolled per axis (mirrors ContentionConfig.g bit for bit)
+        lin, quad, knee, cap = cfg.linear, cfg.quad, cfg.knee, cfg.pressure_cap
+        p = min(pressures[0], cap)
+        e = p - knee
+        g0 = lin * p + (quad * e * e if e > 0 else 0.0)
+        p = min(pressures[1], cap)
+        e = p - knee
+        g1 = lin * p + (quad * e * e if e > 0 else 0.0)
+        p = min(pressures[2], cap)
+        e = p - knee
+        g2 = lin * p + (quad * e * e if e > 0 else 0.0)
+        co_overlap = 1.0 - cfg.overlap
+        # keyed by id(): invocations of one function share the spec's
+        # sensitivity object, and identity lookups skip the dataclass's
+        # field-tuple hash (equal-valued distinct objects just recompute
+        # the same bits)
+        rate_of: Dict[int, float] = {}
+        next_ex: Optional[_Execution] = None
+        next_in = math.inf
         for ex in self._active.values():
             elapsed = now - ex.last_update
             if elapsed > 0:
@@ -263,48 +369,64 @@ class MachineModel:
                 if ex.work_left < 0:
                     ex.work_left = 0.0
             ex.last_update = now
-
-    def _rebalance(self, now: float) -> None:
-        """Recompute rates and reschedule completions after a set change."""
-        # clamp accumulated float residue so an empty machine reads
-        # exactly zero pressure (additions and removals of the same
-        # demands do not cancel bitwise when interleaved)
-        for i in range(3):
-            if abs(self._demand_totals[i]) < 1e-9:
-                self._demand_totals[i] = 0.0
-        if abs(self._memory_in_use) < 1e-9:
-            self._memory_in_use = 0.0
-        pressures = self.pressures()
-        cfg = self.config
-        for ex in self._active.values():
-            ex.rate = 1.0 / cfg.slowdown(ex.sens, pressures)
-            ex.generation += 1
-            finish_in = ex.work_left / ex.rate if ex.rate > 0 else math.inf
-            gen = ex.generation
-            self.env.schedule_callback(finish_in, lambda ex=ex, gen=gen: self._maybe_finish(ex, gen))
-        # accounting
-        self.cpu_in_use.set(now, self._demand_totals[0])
-        self.io_in_use.set(now, self._demand_totals[1])
-        self.net_in_use.set(now, self._demand_totals[2])
-        self.memory_stat.set(now, self._memory_in_use)
+            sens = ex.sens
+            rate = rate_of.get(id(sens))
+            if rate is None:
+                d0 = sens.cpu * g0
+                d1 = sens.io * g1
+                d2 = sens.net * g2
+                total = d0 + d1 + d2
+                worst = max(d0, d1, d2)
+                rate = 1.0 / (1.0 + worst + co_overlap * (total - worst))
+                rate_of[id(sens)] = rate
+            ex.rate = rate
+            finish_in = ex.work_left / rate if rate > 0 else math.inf
+            if finish_in < next_in:
+                next_in = finish_in
+                next_ex = ex
+        # re-arm the machine's one completion timer (cancel the stale one)
+        timer = self._timer
+        if timer is not None and not timer._processed:
+            timer.cancel()
+        self._timer_ex = next_ex
+        if next_ex is None:
+            self._timer = None
+        else:
+            self._timer = _CompletionTimer(self.env, next_in, self)
+            self.timer_arms += 1
+        # accounting: a set() with an unchanged level is a mathematical
+        # no-op for a piecewise-constant signal (the integral accrues
+        # lazily), so skip the call for axes that did not move
+        d = self._demand_totals
+        s = self.cpu_in_use
+        if s._level != d[0]:
+            s.set(now, d[0])
+        s = self.io_in_use
+        if s._level != d[1]:
+            s.set(now, d[1])
+        s = self.net_in_use
+        if s._level != d[2]:
+            s.set(now, d[2])
+        s = self.memory_stat
+        if s._level != self._memory_in_use:
+            s.set(now, self._memory_in_use)
         if self.on_pressure_change is not None:
             self.on_pressure_change(now, pressures)
 
-    def _maybe_finish(self, ex: _Execution, generation: int) -> None:
-        if ex.generation != generation or ex.eid not in self._active:
-            return  # rescheduled since; this callback is stale
+    def _on_timer(self) -> None:
+        ex = self._timer_ex
+        assert ex is not None  # a live timer always has a target
         now = self.env.now
         # bank this execution's own progress precisely
         ex.work_left -= (now - ex.last_update) * ex.rate
         ex.last_update = now
         if ex.work_left > 1e-12:  # numeric guard: not actually done yet
-            ex.generation += 1
-            gen = ex.generation
-            self.env.schedule_callback(
-                ex.work_left / ex.rate, lambda ex=ex, gen=gen: self._maybe_finish(ex, gen)
-            )
+            # rates are unchanged since arming (any set change would have
+            # cancelled this timer), so ``ex`` is still the earliest
+            self._timer = _CompletionTimer(self.env, ex.work_left / ex.rate, self)
+            self.timer_arms += 1
             return
-        self._bank_progress(now)
+        ex.work_left = 0.0  # clamp float residue; progress never goes negative
         del self._active[ex.eid]
         d = ex.demand
         self._demand_totals[0] -= d.cpu
@@ -312,6 +434,7 @@ class MachineModel:
         self._demand_totals[2] -= d.net_mbps
         self._memory_in_use -= d.memory_mb
         self._rebalance(now)
+        self.completed += 1
         ex.done.succeed(now - ex.start)
 
     # -- background pressure -------------------------------------------------
@@ -322,11 +445,11 @@ class MachineModel:
         complete; used by tests and by synthetic co-tenant scenarios.
         """
         now = self.env.now
-        self._bank_progress(now)
         self._demand_totals[0] += demand.cpu
         self._demand_totals[1] += demand.io_mbps
         self._demand_totals[2] += demand.net_mbps
         self._memory_in_use += demand.memory_mb
+        self._background_count += 1
         self._rebalance(now)
         removed = False
 
@@ -336,11 +459,11 @@ class MachineModel:
                 raise RuntimeError("background demand already removed")
             removed = True
             t = self.env.now
-            self._bank_progress(t)
             self._demand_totals[0] -= demand.cpu
             self._demand_totals[1] -= demand.io_mbps
             self._demand_totals[2] -= demand.net_mbps
             self._memory_in_use -= demand.memory_mb
+            self._background_count -= 1
             self._rebalance(t)
 
         return remove

@@ -10,8 +10,8 @@ States:
 ``DEAD``          reaped (memory returned to the pool)
 
 The pool drives transitions; the container only owns its identity,
-timestamps and the keep-alive generation counter used to cancel stale
-reap timers without heap surgery.
+timestamps and a handle on its pending keep-alive reap event so the pool
+can cancel the reap outright when the container is re-used.
 """
 
 from __future__ import annotations
@@ -21,6 +21,7 @@ import itertools
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.events import Event
     from repro.workloads.functionbench import MicroserviceSpec
 
 __all__ = ["Container", "ContainerState"]
@@ -40,7 +41,7 @@ class ContainerState(enum.Enum):
 class Container:
     """One single-concurrency container bound to a function."""
 
-    __slots__ = ("cid", "spec", "state", "created_at", "warm_since", "invocations", "reap_token", "prewarmed")
+    __slots__ = ("cid", "spec", "state", "created_at", "warm_since", "invocations", "reap_event", "prewarmed")
 
     def __init__(self, spec: "MicroserviceSpec", created_at: float, prewarmed: bool = False):
         self.cid = next(_ids)
@@ -49,9 +50,9 @@ class Container:
         self.created_at = created_at
         self.warm_since: Optional[float] = None
         self.invocations = 0
-        #: generation counter: bumped whenever the container leaves IDLE,
-        #: so a pending keep-alive reap callback can detect staleness
-        self.reap_token = 0
+        #: the pending keep-alive reap event while IDLE; the pool cancels
+        #: it when the container is re-used (no stale timers in the heap)
+        self.reap_event: Optional["Event"] = None
         #: True if created by the prewarm module (Fig. 16 accounting)
         self.prewarmed = prewarmed
 

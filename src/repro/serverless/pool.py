@@ -18,14 +18,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro.cluster.accounting import UsageLedger
 from repro.cluster.resource_model import DemandVector, MachineModel, SensitivityVector
 from repro.serverless.config import ServerlessConfig
 from repro.serverless.container import Container, ContainerState
 from repro.sim.environment import Environment
-from repro.sim.events import Event
+from repro.sim.events import Callback, Event
 from repro.sim.rng import RngRegistry
 from repro.telemetry import ServiceMetrics
 from repro.workloads.functionbench import MicroserviceSpec
@@ -59,6 +59,10 @@ class FunctionState:
     busy_seconds: float = 0.0
     #: events fired when an in-flight cold start turns warm (prewarm acks)
     _ready_events: Deque[Event] = field(default_factory=deque)
+    #: cached per-function RNG samplers (built at registration; stream
+    #: identity is name-keyed, so caching changes no draw sequence)
+    _warm_draw: Optional[Callable[[], float]] = None
+    _exec_draw: Optional[Callable[[], float]] = None
 
     @property
     def total_containers(self) -> int:
@@ -108,6 +112,10 @@ class ContainerPool:
             ledger=ledger if ledger is not None else UsageLedger(self.env, f"sls/{spec.name}"),
             limit=limit if limit is not None else self.config.concurrency_limit,
             keep_alive=keep_alive,
+        )
+        fs._warm_draw = self.rng.lognormal_sampler(f"warmload/{spec.name}", 1.0, 0.15)
+        fs._exec_draw = self.rng.lognormal_sampler(
+            f"exec/{spec.name}", spec.exec_time, spec.exec_sigma
         )
         self._functions[spec.name] = fs
         return fs
@@ -218,15 +226,15 @@ class ContainerPool:
         container.state = ContainerState.IDLE
         container.warm_since = self.env.now
         fs.idle.append(container)
-        container.reap_token += 1
-        token = container.reap_token
-        self.env.schedule_callback(
-            max(keep_alive, 1e-3), lambda: self._maybe_reap(fs, container, token)
+        # true cancellation replaces the old generation-token guard: the
+        # reap event is cancelled outright when the container is re-used,
+        # so the heap never accumulates stale keep-alive timers
+        container.reap_event = self.env.schedule_callback(
+            max(keep_alive, 1e-3), lambda: self._reap(fs, container)
         )
 
-    def _maybe_reap(self, fs: FunctionState, container: Container, token: int) -> None:
-        if container.state is not ContainerState.IDLE or container.reap_token != token:
-            return  # was re-used (or already reaped) since the timer was armed
+    def _reap(self, fs: FunctionState, container: Container) -> None:
+        container.reap_event = None
         fs.idle.remove(container)
         self._retire(fs, container)
 
@@ -239,7 +247,10 @@ class ContainerPool:
         fresh_cold: bool = False,
     ) -> None:
         container.state = ContainerState.BUSY
-        container.reap_token += 1
+        reap = container.reap_event
+        if reap is not None:
+            container.reap_event = None
+            reap.cancel()
         fs.n_busy += 1
         wait = self.env.now - t_enqueue
         if fresh_cold:
@@ -251,26 +262,48 @@ class ContainerPool:
             query.breakdown["queue"] = wait - cold_part
         else:
             query.breakdown["queue"] = wait
-        self.env.process(self._run(fs, container, query))
+        self._run(fs, container, query)
 
-    def _run(self, fs: FunctionState, container: Container, query: Query):
+    def _run(self, fs: FunctionState, container: Container, query: Query) -> None:
+        """Drive one query through load → contended exec → result posting.
+
+        This is a callback chain, not a generator process: the per-query
+        hot path is four kernel events lighter that way (no bootstrap, no
+        process-completion event, no generator frames).  Draw order per
+        RNG stream is unchanged — the load draw happens at assign time,
+        which is the order the process bootstraps replayed.
+        """
+        env = self.env
         cfg = self.config
         spec = fs.spec
         # per-query (warm) code/data loading
-        load_t = (spec.code_mb / cfg.warm_load_mbps) * self.rng.lognormal_around(
-            f"warmload/{spec.name}", 1.0, 0.15
-        )
-        yield self.env.timeout(load_t)
-        # contended execution
-        work = self.rng.lognormal_around(f"exec/{spec.name}", spec.exec_time, spec.exec_sigma)
-        fs.ledger.acquire(spec.demand.cpu, 0.0)
-        exec_done = self.machine.execute(work, spec.demand, spec.sensitivity)
-        exec_t = yield exec_done
-        fs.ledger.release(spec.demand.cpu, 0.0)
-        # result posting
-        post_t = cfg.post_overhead_base + spec.result_mb / cfg.post_mbps
-        yield self.env.timeout(post_t)
+        load_t = (spec.code_mb / cfg.warm_load_mbps) * fs._warm_draw()
 
+        def start_exec() -> None:
+            # contended execution
+            work = fs._exec_draw()
+            fs.ledger.acquire(spec.demand.cpu, 0.0)
+            done = self.machine.execute(work, spec.demand, spec.sensitivity)
+            assert done.callbacks is not None
+            done.callbacks.append(after_exec)
+
+        def after_exec(done: Event) -> None:
+            fs.ledger.release(spec.demand.cpu, 0.0)
+            # result posting
+            post_t = cfg.post_overhead_base + spec.result_mb / cfg.post_mbps
+            Callback(env, post_t, lambda: self._complete(fs, container, query, load_t, done._value, post_t))
+
+        Callback(env, load_t, start_exec)
+
+    def _complete(
+        self,
+        fs: FunctionState,
+        container: Container,
+        query: Query,
+        load_t: float,
+        exec_t: float,
+        post_t: float,
+    ) -> None:
         query.breakdown["load"] = load_t
         query.breakdown["exec"] = exec_t
         query.breakdown["post"] = post_t

@@ -9,10 +9,19 @@ An :class:`Event` moves through three states:
 
 Processes wait on events by ``yield``-ing them; the environment wires the
 process resumption up as a callback.
+
+A triggered-but-unprocessed event can additionally be :meth:`~Event.cancel`-led:
+its heap entry stays where it is, but the environment discards it on pop
+(or during an amortized compaction) without advancing the clock or running
+callbacks.  This is the kernel's true event-cancellation path — schedulers
+that re-plan (the contention engine's completion timer, the container
+pool's keep-alive reaper) cancel their obsolete timer instead of leaving a
+generation-guarded stale callback to fire as a no-op.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -21,6 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Callback",
     "ConditionEvent",
     "Event",
     "EventAlreadyTriggered",
@@ -55,7 +65,7 @@ class Event:
         single environment; mixing environments raises at trigger time.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused", "_cancelled")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -67,6 +77,8 @@ class Event:
         #: a failed event whose exception was consumed (e.g. by a waiting
         #: process) is "defused" and will not crash the environment.
         self._defused: bool = False
+        #: a cancelled event's heap entry is discarded instead of processed
+        self._cancelled: bool = False
 
     # -- state inspection ------------------------------------------------
     @property
@@ -91,9 +103,32 @@ class Event:
             raise AttributeError("value of untriggered event is not available")
         return self._value
 
+    @property
+    def cancelled(self) -> bool:
+        """True once the event's scheduled occurrence has been revoked."""
+        return self._cancelled
+
     def defuse(self) -> None:
         """Mark a failed event as handled so it will not propagate."""
         self._defused = True
+
+    def cancel(self) -> None:
+        """Revoke a scheduled (triggered, unprocessed) event.
+
+        The heap entry is left in place and discarded lazily by the
+        environment — no callbacks run, the clock does not advance to the
+        event's timestamp, and waiting on a cancelled event forever blocks
+        (schedulers must re-arm a replacement themselves).  Cancelling an
+        already-cancelled event is a no-op; cancelling a pending or
+        processed event is an error (there is no scheduled occurrence to
+        revoke).
+        """
+        if self._cancelled:
+            return
+        if not self._triggered or self._processed:
+            raise RuntimeError(f"cannot cancel {self!r}: not scheduled")
+        self._cancelled = True
+        self.env._note_cancelled()
 
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None, *, delay: float = 0.0, priority: int = 1) -> "Event":
@@ -103,7 +138,9 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        self.env._enqueue(self, delay, priority)
+        env = self.env
+        env._seq += 1
+        heapq.heappush(env._heap, (env._now + delay, priority, env._seq, self))
         return self
 
     def fail(self, exception: BaseException, *, delay: float = 0.0, priority: int = 1) -> "Event":
@@ -115,7 +152,9 @@ class Event:
         self._triggered = True
         self._ok = False
         self._value = exception
-        self.env._enqueue(self, delay, priority)
+        env = self.env
+        env._seq += 1
+        heapq.heappush(env._heap, (env._now + delay, priority, env._seq, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -135,7 +174,10 @@ class Event:
                 cb(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        if self._cancelled:
+            state = "cancelled"
+        else:
+            state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
@@ -147,12 +189,53 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None, priority: int = 1):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = float(delay)
-        self._triggered = True
+        # flattened Event.__init__: a Timeout is created for every yield on
+        # the hot path, so skip the chained constructor and the double
+        # assignment of the triggered/value fields.
+        self.env = env
+        self.callbacks = []
         self._ok = True
+        self._triggered = True
+        self._processed = False
+        self._defused = False
+        self._cancelled = False
         self._value = value
-        env._enqueue(self, delay, priority)
+        self.delay = float(delay)
+        env._seq += 1
+        heapq.heappush(env._heap, (env._now + delay, priority, env._seq, self))
+
+
+class Callback(Event):
+    """A deferred function call: runs ``fn()`` after ``delay`` seconds.
+
+    The storage-free form of ``Timeout`` plus a callback — the function is
+    held directly instead of in a callbacks list, so fire-and-forget
+    bookkeeping (:meth:`Environment.schedule_callback`) costs one slim
+    event and no list/lambda allocations.  Being triggered from birth, a
+    ``Callback`` supports :meth:`Event.cancel` like any scheduled event;
+    nothing can *wait* on one (no callbacks list), which is the point.
+    """
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, env: "Environment", delay: float, fn: Callable[[], None], priority: int = 1):
+        if delay < 0:
+            raise ValueError(f"negative callback delay: {delay}")
+        self.env = env
+        self.callbacks = None
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self._defused = False
+        self._cancelled = False
+        self._value = None
+        self._fn = fn
+        env._seq += 1
+        heapq.heappush(env._heap, (env._now + delay, priority, env._seq, self))
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        self._fn()
 
 
 class ConditionEvent(Event):

@@ -72,13 +72,12 @@ class Process(Event):
                 target.callbacks.remove(self._resume)
             except ValueError:  # pragma: no cover - already detached
                 pass
-        self._step(failer)
+        self._resume(failer)
 
     def _resume(self, event: Event) -> None:
+        # one frame per resume: this is the kernel's hottest callback, so
+        # the former _resume/_step pair is a single method
         self._target = None
-        self._step(event)
-
-    def _step(self, event: Event) -> None:
         env = self.env
         prev, env._active_process = env._active_process, self
         try:
@@ -89,7 +88,19 @@ class Process(Event):
                 next_target = self._generator.throw(event._value)
         except StopIteration as stop:
             env._active_process = prev
-            self.succeed(stop.value)
+            if self.callbacks:
+                self.succeed(stop.value)
+            else:
+                # nobody is waiting on this process: complete in place
+                # instead of scheduling a completion event the kernel would
+                # pop only to find an empty callback list.  Late observers
+                # see a processed event (the relay path in the yield
+                # handling below covers `yield finished_process`).
+                self._triggered = True
+                self._processed = True
+                self._ok = True
+                self._value = stop.value
+                self.callbacks = None
             return
         except BaseException as exc:
             env._active_process = prev

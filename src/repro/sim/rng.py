@@ -66,6 +66,23 @@ class RngRegistry:
             raise ValueError(f"median must be positive, got {median}")
         return float(median * np.exp(self.stream(name).normal(0.0, sigma)))
 
+    def lognormal_sampler(self, name: str, median: float, sigma: float):
+        """A zero-argument sampler equivalent to :meth:`lognormal_around`.
+
+        Hot paths call this once and keep the returned callable: each draw
+        then skips the stream-name formatting and registry lookup while
+        producing the bit-identical sequence ``lognormal_around`` would.
+        """
+        if median <= 0:
+            raise ValueError(f"median must be positive, got {median}")
+        normal = self.stream(name).normal
+        exp = np.exp
+
+        def draw() -> float:
+            return float(median * exp(normal(0.0, sigma)))
+
+        return draw
+
     def uniform(self, name: str, low: float, high: float) -> float:
         """One uniform draw on ``[low, high)`` from stream ``name``."""
         if high < low:

@@ -233,7 +233,12 @@ class Histogram:
         elif x >= self.hi:
             self.overflow += 1
         else:
-            self.counts[int((x - self.lo) / self._width)] += 1
+            idx = int((x - self.lo) / self._width)
+            if idx >= self.bins:
+                # x just below hi can round up to the phantom bin when
+                # (hi - lo) / bins is not exact (e.g. lo=0, hi=3.3, bins=6)
+                idx = self.bins - 1
+            self.counts[idx] += 1
 
     @property
     def n(self) -> int:
@@ -308,13 +313,20 @@ class TimeSeries:
         self.min_interval = float(min_interval)
         self._t: list[float] = []
         self._v: list[float] = []
+        #: time of the last sample that *started* a decimation window; the
+        #: grid is anchored here, not at the (rewritten) last timestamp
+        self._anchor = -math.inf
 
     def record(self, t: float, value: float) -> None:
         """Append a sample, subject to decimation."""
-        if self._t and self.min_interval > 0 and (t - self._t[-1]) < self.min_interval:
-            # within the decimation window: keep the newest value instead
-            self._v[-1] = value
+        if self._t and self.min_interval > 0 and (t - self._anchor) < self.min_interval:
+            # within the decimation window: the newest sample replaces the
+            # previous one — both value AND timestamp, so the pair stays
+            # consistent (the anchor keeps the window from sliding)
+            self._t[-1] = float(t)
+            self._v[-1] = float(value)
             return
+        self._anchor = t
         self._t.append(float(t))
         self._v.append(float(value))
 

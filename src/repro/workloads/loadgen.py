@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.sim.environment import Environment
-from repro.sim.events import Interrupt
+from repro.sim.events import Callback, Event
 from repro.sim.rng import RngRegistry
 from repro.workloads.traces import Trace
 
@@ -82,27 +82,36 @@ class LoadGenerator:
         self._rng = rng.stream(f"arrivals/{service}")
         self._ids = itertools.count()
         self.generated = 0
-        self._proc = env.process(self._run())
+        # the generator is a self-rescheduling callback, not a process: one
+        # kernel event per candidate arrival instead of an event plus a
+        # generator resume.  ``_next`` is the pending candidate's event so
+        # stop() can cancel it outright (no stale timers after shutdown).
+        self._next: Optional[Event] = None
+        rate_max = trace.peak_rate
+        if rate_max > 0:
+            self._rate_max = rate_max
+            self._mean_gap = 1.0 / rate_max
+            self._exponential = self._rng.exponential
+            self._uniform = self._rng.uniform
+            self._trace_rate = trace.rate
+            self._next_id = self._ids.__next__
+            # candidate arrivals come from the dominating homogeneous
+            # process; the first gap is drawn here, which is the same
+            # stream position the process bootstrap drew it from
+            self._next = Callback(env, float(self._exponential(self._mean_gap)), self._tick)
 
-    def _run(self):
+    def _tick(self) -> None:
+        # thinning: accept with probability rate(t) / rate_max
         env = self.env
-        rate_max = self.trace.peak_rate
-        if rate_max <= 0:
-            return
-        try:
-            while True:
-                # candidate arrival from the dominating homogeneous process
-                gap = float(self._rng.exponential(1.0 / rate_max))
-                yield env.timeout(gap)
-                # thinning: accept with probability rate(t) / rate_max
-                if self._rng.uniform() * rate_max <= self.trace.rate(env.now):
-                    q = Query(qid=next(self._ids), service=self.service, t_submit=env.now)
-                    self.generated += 1
-                    self.submit(q)
-        except Interrupt:
-            return
+        if self._uniform() * self._rate_max <= self._trace_rate(env.now):
+            q = Query(qid=self._next_id(), service=self.service, t_submit=env.now)
+            self.generated += 1
+            self.submit(q)
+        if self._next is not None:  # stop() during the submit cascade clears it
+            self._next = Callback(env, float(self._exponential(self._mean_gap)), self._tick)
 
     def stop(self) -> None:
         """Halt arrival generation (end of experiment)."""
-        if self._proc.is_alive:
-            self._proc.interrupt("loadgen stopped")
+        ev, self._next = self._next, None
+        if ev is not None and not ev.processed:
+            ev.cancel()

@@ -152,7 +152,9 @@ class DiurnalTrace(Trace):
         innov = rng.normal(0.0, noise_sigma * math.sqrt(1 - alpha**2), size=n)
         for i in range(1, n):
             ar[i] = alpha * ar[i - 1] + innov[i]
-        self._noise = np.exp(ar)
+        # a plain list: rate() indexes one scalar per candidate arrival,
+        # and list[int] → float beats ndarray scalar extraction there
+        self._noise = np.exp(ar).tolist()
         self._noise_dt = self.day / n
 
     def _shape(self, tod: float) -> float:
@@ -166,7 +168,13 @@ class DiurnalTrace(Trace):
 
     def rate(self, t: float) -> float:
         tod = (t + self.phase) % self.day
-        base = self._shape(tod) * self.peak_rate
+        # _shape(tod) unrolled: rate() runs once per candidate arrival
+        h = 24.0 * tod / self.day
+        morning = self.morning_fraction * math.exp(-((h - 8.5) ** 2) / (2 * 1.6**2))
+        evening = math.exp(-((h - 18.0) ** 2) / (2 * 2.2**2))
+        bump = max(morning, evening)
+        shape = self.low_fraction + (1.0 - self.low_fraction) * bump
+        base = shape * self.peak_rate
         idx = int(tod / self._noise_dt) % len(self._noise)
         return float(min(base * self._noise[idx], self.peak_rate))
 

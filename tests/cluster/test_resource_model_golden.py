@@ -1,0 +1,45 @@
+"""Golden determinism test: the engine's per-query latencies, pinned.
+
+The expected values were captured from the pre-rework contention engine
+(per-execution completion callbacks with generation guards) by running
+``python tests/cluster/golden_scenario.py``.  The single-timer engine must
+reproduce every latency **bit for bit** — ``float.hex`` equality, not
+``approx`` — which is what makes the scheduling rework a pure performance
+change.  If an intentional engine change ever breaks this, regenerate the
+constants with that same command and say so loudly in the commit message.
+"""
+
+from tests.cluster.golden_scenario import N_QUERIES, run_golden_scenario
+
+#: float.hex() of every query's latency, in arrival order
+EXPECTED_HEX = [
+    "0x1.085c8b36bb9c4p-2", "0x1.259e4f756beb6p-3", "0x1.5dbc37955ab90p-4",
+    "0x1.95daed02d397ap-2", "0x1.1498111acdd02p-1", "0x1.d098a47324acdp-2",
+    "0x1.05db1cf80e3d2p+0", "0x1.a817a50270a32p-1", "0x1.33de7ad8dab40p-1",
+    "0x1.5f2cad612c45ep-2", "0x1.a8bf5cfc1340fp-1", "0x1.c6fb4c07f9fbfp-1",
+    "0x1.86d9ed3bea852p-2", "0x1.bd3a9f67f4f08p-2", "0x1.b4f5b6844074ep-1",
+    "0x1.674e7069e05c5p+3", "0x1.cc89d2c439c28p-2", "0x1.d6f00b5234820p-3",
+    "0x1.5c75b455fe939p+3", "0x1.37d421ad8ec47p+4", "0x1.146daf4cde06dp+0",
+    "0x1.dad89ef525baap+3", "0x1.793170d682d9dp+3", "0x1.902fb7e0faf16p+3",
+    "0x1.2c80720b62780p+4", "0x1.cfd2cf4652b48p+2", "0x1.338cf2ae8438ap+4",
+    "0x1.36f4b6dfd6580p+4", "0x1.bca38e55e8e9cp+1", "0x1.72e8f4f291fb0p+3",
+    "0x1.d2b56ea507dcep+2", "0x1.17173c1a769bdp+3", "0x1.6a5caa9e3b6dcp+3",
+    "0x1.2fdf95c9a240cp+4", "0x1.2ba888ed7511ap+4", "0x1.02c4d70cf37f3p+2",
+    "0x1.07d180cdb1fd0p+4", "0x1.248491df325f2p+4", "0x1.29c4f84ff1cbap+4",
+    "0x1.c5077a6f3d7b6p+2", "0x1.700ca10bbecf7p+3", "0x1.2f0f9dfb4022bp+1",
+    "0x1.90a915394b0bap+3", "0x1.0e08b9ec39686p+4", "0x1.ba773515dc3e6p+2",
+    "0x1.a135704ed8113p+2", "0x1.7940eec1f61bcp+3", "0x1.febee4201b4abp+3",
+    "0x1.2084415932948p+4", "0x1.1d8165d5cea43p+4", "0x1.10f1e25ca1190p+4",
+    "0x1.1722184c5cb81p+4", "0x1.1021e12136ad9p+4", "0x1.9645c8abcc1f7p+3",
+    "0x1.1709060f723e3p+2", "0x1.05dda189c6956p+3", "0x1.112cbf0229df0p+4",
+    "0x1.11af5dd90a208p+4", "0x1.0e7099e09f308p+3", "0x1.10aca31b9d76ap+2",
+]
+
+
+def test_scenario_size_matches_pin():
+    assert len(EXPECTED_HEX) == N_QUERIES
+
+
+def test_latencies_bit_identical_to_pre_rework_engine():
+    got = [lat.hex() for lat in run_golden_scenario()]
+    assert got == EXPECTED_HEX

@@ -126,3 +126,70 @@ def test_overlap_interpolates_between_max_and_sum(p0, p1, p2, overlap):
     slow = cfg.slowdown(sens, (p0, p1, p2))
     expected = 1.0 + max(d) + (1.0 - overlap) * (sum(d) - max(d))
     assert math.isclose(slow, expected, rel_tol=1e-12)
+
+
+@given(
+    jobs_strategy,
+    st.lists(
+        # reschedule storm: (wait before injecting, pulse width, strength)
+        st.tuples(st.floats(0.01, 0.4), st.floats(0.01, 0.5), st.floats(0.2, 1.2)),
+        min_size=1,
+        max_size=10,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_midflight_reschedule_storm(jobs, pulses):
+    """A barrage of set changes mid-flight must not corrupt any execution.
+
+    Every background pulse cancels and re-arms the machine's completion
+    timer while work is in flight; this is the path where the old engine
+    piled up stale callbacks and where banking errors would show up as
+    conservation violations.
+    """
+    env = Environment()
+    cfg = ContentionConfig()
+    machine = MachineModel(env, cores=4.0, io_mbps=500.0, net_mbps=500.0, config=cfg)
+    sens = SensitivityVector(cpu=1.0, io=0.8, net=0.0)
+    results = []
+    worst_slowdown = [1.0]
+
+    def track(_t, pressures):
+        worst_slowdown[0] = max(worst_slowdown[0], cfg.slowdown(sens, pressures))
+
+    machine.on_pressure_change = track
+
+    def submit(env, delay, work, cpu, io):
+        yield env.timeout(delay)
+        t0 = env.now
+        duration = yield machine.execute(
+            work, DemandVector(cpu=cpu, memory_mb=32.0, io_mbps=io), sens
+        )
+        results.append((work, t0, env.now, duration))
+
+    def storm(env):
+        for gap, width, strength in pulses:
+            yield env.timeout(gap)
+            remove = machine.inject_background(
+                DemandVector(cpu=strength * 4.0, io_mbps=strength * 250.0)
+            )
+            yield env.timeout(width)
+            remove()
+
+    for delay, work, cpu, io in jobs:
+        env.process(submit(env, delay, work, cpu, io))
+    env.process(storm(env))
+    env.run()
+
+    assert len(results) == len(jobs)
+    for work, t0, t1, duration in results:
+        assert duration == (t1 - t0) or math.isclose(duration, t1 - t0, rel_tol=1e-9)
+        assert duration >= work * (1.0 - 1e-6)
+        assert duration <= work * worst_slowdown[0] * (1.0 + 1e-6)
+    # the single timer cannot have fired more often than it was armed, and
+    # every query completed exactly once
+    assert machine.completed == len(jobs)
+    assert machine.active_count == 0
+    assert machine.pressures() == (0.0, 0.0, 0.0)
+    assert machine.memory_in_use_mb == 0.0
+    # heap hygiene: after the run drains, no dead entries linger
+    assert env.live_size == 0

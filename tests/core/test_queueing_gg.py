@@ -11,6 +11,9 @@ from repro.core.queueing import (
     wait_quantile_gg,
 )
 
+# long queueing simulations: excluded from the quick tier
+pytestmark = pytest.mark.slow
+
 
 def test_mm_n_recovered_with_exponential_service():
     # C_a^2 = C_s^2 = 1 -> factor 1: plain M/M/N

@@ -9,6 +9,9 @@ from repro.experiments.ablations import (
     ablate_sample_period,
 )
 
+# whole-day ablation sweeps: excluded from the quick tier
+pytestmark = pytest.mark.slow
+
 DAY = 900.0
 
 

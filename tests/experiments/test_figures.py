@@ -10,6 +10,10 @@ import pytest
 from repro.experiments import figures as F
 from repro.workloads.functionbench import benchmark_names
 
+# figure-scale simulations: excluded from the quick tier
+pytestmark = pytest.mark.slow
+
+
 
 class TestTables:
     def test_table2(self):

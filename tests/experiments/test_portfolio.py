@@ -6,6 +6,10 @@ from repro.core.config import AmoebaConfig
 from repro.experiments.portfolio import replace_peak, run_portfolio
 from repro.workloads.traces import DiurnalTrace
 
+# multi-service portfolio days: excluded from the quick tier
+pytestmark = pytest.mark.slow
+
+
 
 def test_replace_peak_scales_only_the_peak():
     base = DiurnalTrace(peak_rate=10.0, day=1800.0, phase=100.0)

@@ -6,6 +6,10 @@ import pytest
 from repro.experiments.runner import run_amoeba, run_nameko, run_openwhisk
 from repro.experiments.scenarios import default_scenario
 
+# full-system day runs: excluded from the quick tier
+pytestmark = pytest.mark.slow
+
+
 # one small shared scenario per module: runners are the expensive part
 SCENARIO = default_scenario("float", day=900.0, seed=3)
 

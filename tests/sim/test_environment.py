@@ -33,6 +33,26 @@ def test_run_until_time_does_not_process_later_events(env):
     assert fired == [5.0]
 
 
+def test_horizon_excludes_events_at_the_horizon_itself(env):
+    # run(until=T) schedules its stop event at priority -1, below even
+    # URGENT (priority 0) bookkeeping: NO event with timestamp exactly T
+    # runs before the horizon stops the clock, regardless of priority
+    fired = []
+    normal = env.timeout(5.0)
+    assert normal.callbacks is not None
+    normal.callbacks.append(lambda e: fired.append("normal"))
+    urgent = env.event()
+    urgent.succeed("u", delay=5.0, priority=0)
+    assert urgent.callbacks is not None
+    urgent.callbacks.append(lambda e: fired.append("urgent"))
+    env.run(until=5.0)
+    assert env.now == 5.0
+    assert fired == []
+    # resuming processes them, URGENT first
+    env.run()
+    assert fired == ["urgent", "normal"]
+
+
 def test_run_until_past_raises(env):
     env.timeout(10.0)
     env.run(until=8.0)
@@ -96,3 +116,52 @@ def test_clock_is_monotone_across_events(env):
     env.run()
     assert seen == sorted(seen)
     assert len(seen) == 10
+
+
+# -- lazy discard of cancelled entries ------------------------------------
+
+
+def test_peek_skips_cancelled_head(env):
+    first = env.timeout(1.0)
+    env.timeout(2.0)
+    first.cancel()
+    assert env.peek() == 2.0
+
+
+def test_step_skips_cancelled_and_empty_heap_raises(env):
+    only = env.timeout(1.0)
+    only.cancel()
+    with pytest.raises(EmptySchedule):
+        env.step()
+    assert env.now == 0.0  # the clock never moved
+
+
+def test_live_size_excludes_cancelled_entries(env):
+    evs = [env.timeout(float(i + 1)) for i in range(10)]
+    assert env.live_size == 10
+    for ev in evs[:4]:
+        ev.cancel()
+    assert env.live_size == 6
+    assert env.heap_size >= env.live_size
+
+
+def test_compaction_bounds_heap_size(env):
+    # cancel far more than _COMPACT_MIN entries while keeping them the
+    # minority-turned-majority of the heap: compaction must kick in and
+    # physically shrink the heap, not just mark entries dead
+    evs = [env.timeout(float(i + 1)) for i in range(500)]
+    for ev in evs[:400]:
+        ev.cancel()
+    assert env.heap_size < 500
+    assert env.live_size == 100
+    env.run()
+    assert env.now == 500.0  # survivors all fired at their original times
+
+
+def test_scheduled_total_is_monotone(env):
+    base = env.scheduled_total
+    env.timeout(1.0)
+    ev = env.timeout(2.0)
+    assert env.scheduled_total == base + 2
+    ev.cancel()  # cancellation does not un-count the insertion
+    assert env.scheduled_total == base + 2

@@ -151,3 +151,56 @@ def test_trigger_copies_state(env):
     dst.trigger(src)
     assert dst.triggered
     assert dst.value == "payload"
+
+
+# -- cancellation ---------------------------------------------------------
+
+
+def test_cancel_scheduled_timeout_never_fires(env):
+    fired = []
+    early = env.timeout(1.0)
+    assert early.callbacks is not None
+    early.callbacks.append(lambda e: fired.append("early"))
+    late = env.timeout(5.0)
+    assert late.callbacks is not None
+    late.callbacks.append(lambda e: fired.append("late"))
+    late.cancel()
+    env.run()
+    assert fired == ["early"]
+    # the clock never advanced to the cancelled event's timestamp
+    assert env.now == 1.0
+    assert late.cancelled
+
+
+def test_cancel_is_idempotent(env):
+    ev = env.timeout(1.0)
+    ev.cancel()
+    ev.cancel()  # no-op, no error
+    assert ev.cancelled
+    env.timeout(2.0)
+    env.run()
+    assert env.now == 2.0
+
+
+def test_cancel_pending_event_is_an_error(env):
+    ev = env.event()  # never triggered: nothing scheduled to revoke
+    with pytest.raises(RuntimeError, match="cannot cancel"):
+        ev.cancel()
+
+
+def test_cancel_processed_event_is_an_error(env):
+    ev = env.timeout(1.0)
+    env.run()
+    assert ev.processed
+    with pytest.raises(RuntimeError, match="cannot cancel"):
+        ev.cancel()
+
+
+def test_cancelled_schedule_callback_does_not_run(env):
+    hits = []
+    cb = env.schedule_callback(1.0, lambda: hits.append(env.now))
+    cb.cancel()
+    env.timeout(3.0)
+    env.run()
+    assert hits == []
+    assert env.now == 3.0

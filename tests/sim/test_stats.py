@@ -160,6 +160,18 @@ class TestHistogram:
         h = Histogram(0.0, 1.0, 4)
         assert np.allclose(h.edges(), [0.0, 0.25, 0.5, 0.75, 1.0])
 
+    def test_top_edge_rounding_clamps_to_last_bin(self):
+        # (hi - lo) / bins is inexact here, so int((x - lo) / width) lands
+        # on the phantom bin ``bins`` for x just below hi (this raised
+        # IndexError before the clamp)
+        h = Histogram(0.0, 3.3, 6)
+        x = math.nextafter(3.3, 0.0)
+        assert x < h.hi
+        h.add(x)
+        assert h.overflow == 0
+        assert h.counts[5] == 1
+        assert h.n == 1
+
 
 class TestTimeWeightedStats:
     def test_constant_signal(self):
@@ -222,6 +234,26 @@ class TestTimeSeries:
         ts.record(2.0, 3.0)
         assert len(ts) == 2
         assert ts.values()[0] == 2.0
+
+    def test_decimated_sample_keeps_consistent_timestamp(self):
+        # the in-window rewrite must replace the (t, v) pair together —
+        # it used to keep the stale timestamp with the new value
+        ts = TimeSeries(min_interval=1.0)
+        ts.record(0.0, 1.0)
+        ts.record(0.5, 2.0)
+        assert ts.times()[-1] == 0.5
+        assert ts.values()[-1] == 2.0
+
+    def test_decimation_window_does_not_slide(self):
+        # rewriting the newest sample's timestamp must not move the
+        # decimation grid: the window stays anchored at the first
+        # accepted sample's time
+        ts = TimeSeries(min_interval=1.0)
+        ts.record(0.0, 1.0)
+        ts.record(0.9, 2.0)  # in-window rewrite
+        ts.record(1.5, 3.0)  # 1.5s past the anchor at 0.0: new sample
+        assert list(ts.times()) == [0.9, 1.5]
+        assert list(ts.values()) == [2.0, 3.0]
 
     def test_resample_zero_order_hold(self):
         ts = TimeSeries()

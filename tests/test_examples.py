@@ -10,6 +10,10 @@ from pathlib import Path
 
 import pytest
 
+# runs the example scripts end to end: excluded from the quick tier
+pytestmark = pytest.mark.slow
+
+
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 

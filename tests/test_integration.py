@@ -14,6 +14,10 @@ from repro.core.runtime import AmoebaRuntime
 from repro.workloads.functionbench import benchmark
 from repro.workloads.traces import BurstTrace, ConstantTrace, DiurnalTrace
 
+# cross-module end-to-end scenarios: excluded from the quick tier
+pytestmark = pytest.mark.slow
+
+
 FAST = AmoebaConfig(min_sample_period=10.0, max_sample_period=10.0, min_dwell=60.0)
 
 
