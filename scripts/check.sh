@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# The single development gate: every PR must pass this locally and in CI.
+#
+#   1. simlint  — the repo's own AST linter for sim-kernel invariants
+#                 (SIM001..SIM008, see DESIGN.md §7).  Always runs; pure
+#                 stdlib, so there is no environment where it can't.
+#   2. mypy     — strict typing on repro.sim / repro.core /
+#                 repro.serverless (config in pyproject.toml).  Skipped
+#                 with a warning when mypy is not installed.
+#   3. ruff     — baseline style layer (config in pyproject.toml).
+#                 Skipped with a warning when ruff is not installed.
+#   4. pytest   — the quick test tier (slow end-to-end benches excluded;
+#                 run `pytest` with no -m filter for the full tier).
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== simlint: simulation-kernel invariants =="
+python -m repro.analysis.lint src
+
+echo "== mypy: strict typing gate =="
+if python -c "import mypy" >/dev/null 2>&1; then
+    python -m mypy
+else
+    echo "warning: mypy not installed; skipping the typing gate" >&2
+fi
+
+echo "== ruff: baseline style =="
+if python -c "import ruff" >/dev/null 2>&1 || command -v ruff >/dev/null 2>&1; then
+    ruff check src
+else
+    echo "warning: ruff not installed; skipping the style gate" >&2
+fi
+
+echo "== pytest: quick tier =="
+python -m pytest -x -q -m "not slow"
+
+echo "== all gates green =="

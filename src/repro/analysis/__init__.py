@@ -1,0 +1,30 @@
+"""Static analysis for the simulation kernel's correctness contract.
+
+The reproduction's headline guarantee — bit-identical per-query latencies
+for a given ``(seed, scenario)`` pair — is a *whole-repo* property: one
+stray wall-clock read, one unseeded RNG, or one float-equality test on
+simulated time silently breaks it, and the QoS/capacity numbers derived
+from the discriminant function (paper Eqs. 5-7) stop being reproducible.
+
+``repro.analysis`` encodes those invariants as machine-checked lint rules
+(``SIM001`` ... ``SIM008``) over the Python AST:
+
+* ``python -m repro.analysis.lint src`` lints a tree and exits non-zero
+  on any violation;
+* each rule carries a fix-it message and traces back to the invariant it
+  protects (see ``rules.RULES`` and DESIGN.md §7);
+* an intentional violation is silenced inline with
+  ``# simlint: ignore[SIM00x]`` plus a one-line justification.
+
+The linter is self-hosted: it depends only on the standard library, so it
+runs anywhere the repo runs (CI, the ``scripts/check.sh`` gate, editors).
+"""
+
+from __future__ import annotations
+
+# NOTE: repro.analysis.lint is deliberately not imported here — importing
+# it from the package __init__ would shadow `python -m repro.analysis.lint`
+# (runpy warns when the submodule is already in sys.modules).
+from repro.analysis.rules import RULES, Rule, Violation
+
+__all__ = ["RULES", "Rule", "Violation"]

@@ -1,0 +1,10 @@
+"""``python -m repro.analysis`` — alias for ``python -m repro.analysis.lint``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.lint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

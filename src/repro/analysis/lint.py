@@ -1,0 +1,137 @@
+"""The sim-kernel linter CLI: ``python -m repro.analysis.lint <paths>``.
+
+Walks the given files/directories, runs every SIM rule over each Python
+module, honours inline ``# simlint: ignore[SIM00x]`` escape hatches, and
+exits non-zero when any violation survives.  Pure standard library, so it
+runs in any environment the repo itself runs in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+from repro.analysis.rules import RULE_IDS, RULES, InvariantVisitor, Violation
+
+__all__ = ["lint_file", "lint_paths", "lint_source", "main"]
+
+#: directories never worth descending into
+_SKIP_DIRS = {"__pycache__", ".git", ".mypy_cache", ".pytest_cache", ".ruff_cache"}
+
+#: ``# simlint: ignore`` (blanket) or ``# simlint: ignore[SIM001,SIM005]``
+_IGNORE_RE = re.compile(r"#\s*simlint:\s*ignore(?:\[(?P<ids>[A-Z0-9,\s]+)\])?")
+
+
+class BrokenModule(Exception):
+    """Raised when a file cannot be parsed (reported as a hard error)."""
+
+
+def _ignored_ids(line: str) -> frozenset:
+    """Rule IDs silenced by an inline comment on ``line``.
+
+    Returns the empty set when there is no directive, and the full rule
+    set for a blanket ``# simlint: ignore`` with no bracket list.
+    """
+    match = _IGNORE_RE.search(line)
+    if match is None:
+        return frozenset()
+    ids = match.group("ids")
+    if ids is None:
+        return frozenset(RULE_IDS)
+    return frozenset(part.strip() for part in ids.split(",") if part.strip())
+
+
+def lint_source(source: str, path: str) -> List[Violation]:
+    """Lint one module's source text; ``path`` scopes path-based rules."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise BrokenModule(f"{path}:{exc.lineno or 1}:0: cannot parse: {exc.msg}") from exc
+    visitor = InvariantVisitor(path)
+    visitor.visit(tree)
+    if not visitor.violations:
+        return []
+    lines = source.splitlines()
+    kept: List[Violation] = []
+    for violation in visitor.violations:
+        line_text = lines[violation.line - 1] if 0 < violation.line <= len(lines) else ""
+        if violation.rule_id not in _ignored_ids(line_text):
+            kept.append(violation)
+    return kept
+
+
+def lint_file(path: Path) -> List[Violation]:
+    """Lint one file on disk."""
+    return lint_source(path.read_text(encoding="utf-8"), str(path))
+
+
+def _iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS & set(part for part in sub.parts):
+                    yield sub
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Sequence[Path]) -> List[Violation]:
+    """Lint every Python file under ``paths`` (files or directories)."""
+    violations: List[Violation] = []
+    for path in _iter_python_files(paths):
+        violations.extend(lint_file(path))
+    return violations
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in RULES:
+        lines.append(f"{rule.id}  {rule.summary}")
+        lines.append(f"        {rule.invariant}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Check simulation-kernel invariants (SIM001..SIM008).",
+    )
+    parser.add_argument("paths", nargs="*", type=Path, help="files or directories to lint")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print every rule and its invariant, then exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.analysis.lint src)")
+
+    missing = [str(p) for p in args.paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    try:
+        violations = lint_paths(args.paths)
+    except BrokenModule as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        count = len(violations)
+        print(f"simlint: {count} violation{'s' if count != 1 else ''} found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,416 @@
+"""The SIM rule set: domain invariants of the discrete-event kernel.
+
+Each rule protects one leg of the determinism contract that the paper's
+QoS pipeline (discriminant Eq. 5, sample-period Eq. 8, prewarm Eq. 7)
+rests on.  Rules are deliberately narrow: they encode *this repo's*
+conventions (all randomness flows through ``sim/rng.py``'s named streams,
+all time flows through ``Environment.now``), not generic style.
+
+The checker is a single source-order AST pass (`InvariantVisitor`);
+``NodeVisitor`` recursion follows ``ast.iter_child_nodes``, which yields
+children in source order, so statement-ordering rules like SIM004 see
+code in the order it executes within a straight-line body.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["RULES", "Rule", "Violation", "InvariantVisitor"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: identifier, what it enforces, and why."""
+
+    id: str
+    summary: str
+    #: the kernel/paper invariant the rule protects (shown by --list-rules)
+    invariant: str
+
+
+RULES: Tuple[Rule, ...] = (
+    Rule(
+        "SIM001",
+        "wall-clock read or real sleep in simulation code",
+        "simulated time is Environment.now only; time.time()/sleep() make "
+        "latencies depend on host speed (allowed only in the CLI driver "
+        "experiments/__main__.py, which times the *host* run)",
+    ),
+    Rule(
+        "SIM002",
+        "RNG constructed or drawn outside sim/rng.py",
+        "all randomness must flow through named RngRegistry streams so a "
+        "single root seed reproduces every draw regardless of creation "
+        "order (paper Eqs. 5-7 QoS numbers are seed-conditioned)",
+    ),
+    Rule(
+        "SIM003",
+        "== / != comparison on a simulated-time expression",
+        "simulated timestamps are accumulated floats; exact equality is "
+        "representation-dependent — compare with <=, >=, or an epsilon",
+    ),
+    Rule(
+        "SIM004",
+        "cancelled Event re-armed or passed back to the scheduler",
+        "Event.cancel() revokes the heap entry lazily; re-triggering or "
+        "re-scheduling the same object corrupts heap accounting "
+        "(_note_cancelled bookkeeping) — create a fresh Event instead",
+    ),
+    Rule(
+        "SIM005",
+        "mutable default argument",
+        "a shared default list/dict/set leaks state between calls and "
+        "between simulation runs, breaking run-to-run independence",
+    ),
+    Rule(
+        "SIM006",
+        "bare `except:` clause",
+        "swallowing BaseException hides StopSimulation/Interrupt control "
+        "flow and kernel bugs; catch the specific exception",
+    ),
+    Rule(
+        "SIM007",
+        "config dataclass is not frozen",
+        "configs are hashed, shared across runs, and compared in ablation "
+        "sweeps; in-place mutation would silently fork experiment setups",
+    ),
+    Rule(
+        "SIM008",
+        "public core/ or sim/ function without a return annotation",
+        "kernel APIs are contracts; unannotated returns let time/rate "
+        "unit mixups (seconds vs. queries/s) slip through the type gate",
+    ),
+)
+
+RULE_IDS: Set[str] = {rule.id for rule in RULES}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: where, which rule, and how to fix it."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical ``path:line:col: RULE message`` display form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+#: wall-clock entry points, by canonical dotted name (SIM001)
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.sleep",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: files (path suffixes) where wall-clock reads are legitimate: the CLI
+#: driver reports how long the *host* took to run each experiment
+_WALL_CLOCK_ALLOWED = ("experiments/__main__.py",)
+
+#: the one module allowed to construct numpy/stdlib RNGs (SIM002)
+_RNG_ALLOWED = ("sim/rng.py",)
+
+#: identifiers that denote simulated-time values (SIM003)
+_TIME_NAME_RE = re.compile(r"^(now|t_\w+|\w*_time|\w*deadline\w*)$")
+
+#: attribute calls that (re-)arm an event on the heap (SIM004)
+_EVENT_ARM_METHODS = {"succeed", "fail", "trigger"}
+_SCHEDULER_FUNCS = {"schedule", "schedule_callback", "_enqueue"}
+
+#: AST nodes that build a fresh mutable object per evaluation (SIM005)
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter", "OrderedDict"}
+
+#: path segments that mark kernel packages for SIM008
+_ANNOTATED_PACKAGES = {"core", "sim"}
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The last identifier of a Name/Attribute chain (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _path_matches(path: str, suffixes: Tuple[str, ...]) -> bool:
+    norm = path.replace("\\", "/")
+    return any(norm.endswith(suffix) for suffix in suffixes)
+
+
+def _path_segments(path: str) -> Set[str]:
+    return set(path.replace("\\", "/").split("/"))
+
+
+class InvariantVisitor(ast.NodeVisitor):
+    """Single-pass checker for all SIM rules over one module."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.violations: List[Violation] = []
+        #: local alias -> canonical dotted module/attribute name
+        self._aliases: Dict[str, str] = {}
+        self._wall_clock_exempt = _path_matches(path, _WALL_CLOCK_ALLOWED)
+        self._rng_exempt = _path_matches(path, _RNG_ALLOWED)
+        self._annotations_apply = bool(_ANNOTATED_PACKAGES & _path_segments(path))
+        #: stack of per-function {name -> cancel line} maps for SIM004
+        self._cancelled_stack: List[Dict[str, int]] = []
+        self._function_depth = 0
+
+    # -- helpers -----------------------------------------------------------
+    def _report(self, node: ast.AST, rule_id: str, message: str) -> None:
+        self.violations.append(
+            Violation(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule_id=rule_id,
+                message=message,
+            )
+        )
+
+    def _canonical(self, dotted: Optional[str]) -> Optional[str]:
+        """Resolve the chain root through recorded import aliases."""
+        if dotted is None:
+            return None
+        root, _, rest = dotted.partition(".")
+        base = self._aliases.get(root)
+        if base is None:
+            return dotted
+        return f"{base}.{rest}" if rest else base
+
+    # -- import tracking ---------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._aliases[alias.asname or alias.name.partition(".")[0]] = (
+                alias.name if alias.asname else alias.name.partition(".")[0]
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name != "*":
+                    self._aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    # -- SIM001 / SIM002 / SIM004 (calls) ----------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        canonical = self._canonical(_dotted_name(node.func))
+        if canonical is not None:
+            if not self._wall_clock_exempt and canonical in _WALL_CLOCK_CALLS:
+                self._report(
+                    node,
+                    "SIM001",
+                    f"call to {canonical}() reads the wall clock; use Environment.now "
+                    "/ Environment.timeout for simulated time (host timing belongs in "
+                    "experiments/__main__.py)",
+                )
+            if not self._rng_exempt and (
+                canonical.startswith("random.") or canonical.startswith("numpy.random.")
+            ):
+                self._report(
+                    node,
+                    "SIM002",
+                    f"call to {canonical}() bypasses the RngRegistry; draw from a named "
+                    "stream (registry.stream(<name>)) so one root seed reproduces "
+                    "every sequence",
+                )
+        self._check_cancelled_use(node)
+        self.generic_visit(node)
+
+    def _check_cancelled_use(self, node: ast.Call) -> None:
+        """SIM004: flag re-arming or re-scheduling of a cancelled event."""
+        if not self._cancelled_stack:
+            return
+        cancelled = self._cancelled_stack[-1]
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            target = _terminal_name(func.value)
+            if func.attr == "cancel" and isinstance(func.value, (ast.Name, ast.Attribute)):
+                if target is not None:
+                    cancelled[target] = node.lineno
+                return
+            if func.attr in _EVENT_ARM_METHODS and target in cancelled:
+                self._report(
+                    node,
+                    "SIM004",
+                    f"'{target}' was cancelled on line {cancelled[target]}; calling "
+                    f".{func.attr}() on it re-arms a dead heap entry — create a fresh "
+                    "Event/Timeout instead",
+                )
+                return
+            if func.attr in _SCHEDULER_FUNCS:
+                self._flag_cancelled_args(node, cancelled)
+        elif isinstance(func, ast.Name) and func.id in _SCHEDULER_FUNCS:
+            self._flag_cancelled_args(node, cancelled)
+
+    def _flag_cancelled_args(self, node: ast.Call, cancelled: Dict[str, int]) -> None:
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            name = _terminal_name(arg)
+            if name in cancelled:
+                self._report(
+                    node,
+                    "SIM004",
+                    f"'{name}' was cancelled on line {cancelled[name]}; passing it back "
+                    "to the scheduler corrupts cancelled-entry accounting — schedule a "
+                    "fresh Event instead",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # rebinding a name clears its cancelled status (fresh object)
+        if self._cancelled_stack:
+            cancelled = self._cancelled_stack[-1]
+            for target in node.targets:
+                name = _terminal_name(target)
+                if name in cancelled:
+                    del cancelled[name]
+        self.generic_visit(node)
+
+    # -- SIM003 (time equality) --------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, (lhs, rhs) in zip(node.ops, zip(operands, operands[1:])):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side, other in ((lhs, rhs), (rhs, lhs)):
+                name = _terminal_name(side)
+                if name is None or not _TIME_NAME_RE.match(name):
+                    continue
+                # `x == None` is a different bug (ruff E711), and equality
+                # against a string/bool is not a float-time comparison
+                if isinstance(other, ast.Constant) and not isinstance(other.value, (int, float)):
+                    continue
+                op_text = "==" if isinstance(op, ast.Eq) else "!="
+                self._report(
+                    node,
+                    "SIM003",
+                    f"'{name}' {op_text} ... compares simulated time exactly; "
+                    "accumulated float timestamps are not exactly representable — "
+                    "use <=, >=, or math.isclose with an explicit tolerance",
+                )
+                break
+        self.generic_visit(node)
+
+    # -- SIM005 / SIM008 (function definitions) ----------------------------
+    def _check_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        args = node.args
+        for default in list(args.defaults) + [d for d in args.kw_defaults if d is not None]:
+            if isinstance(default, _MUTABLE_LITERALS) or (
+                isinstance(default, ast.Call)
+                and _terminal_name(default.func) in _MUTABLE_FACTORIES
+            ):
+                self._report(
+                    node,
+                    "SIM005",
+                    f"function '{node.name}' has a mutable default argument; the object "
+                    "is shared across calls and simulation runs — default to None and "
+                    "construct inside the body",
+                )
+                break
+        if (
+            self._annotations_apply
+            and self._function_depth == 0
+            and node.returns is None
+            and (not node.name.startswith("_") or node.name == "__init__")
+        ):
+            self._report(
+                node,
+                "SIM008",
+                f"public function '{node.name}' lacks a return annotation; kernel APIs "
+                "must state their contract (use '-> None' for procedures)",
+            )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self._enter_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self._enter_function(node)
+
+    def _enter_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._cancelled_stack.append({})
+        self._function_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._function_depth -= 1
+            self._cancelled_stack.pop()
+
+    # -- SIM006 (bare except) ----------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report(
+                node,
+                "SIM006",
+                "bare 'except:' catches BaseException, including the kernel's "
+                "StopSimulation/Interrupt control flow — name the exception type",
+            )
+        self.generic_visit(node)
+
+    # -- SIM007 (frozen config dataclasses) --------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._is_config_dataclass(node) and not self._dataclass_frozen(node):
+            self._report(
+                node,
+                "SIM007",
+                f"config dataclass '{node.name}' must be @dataclass(frozen=True); "
+                "configs are shared across runs and hashed by ablation sweeps",
+            )
+        self.generic_visit(node)
+
+    def _is_config_dataclass(self, node: ast.ClassDef) -> bool:
+        if not self._has_dataclass_decorator(node):
+            return False
+        return node.name.endswith("Config") or _path_matches(self.path, ("config.py",))
+
+    def _has_dataclass_decorator(self, node: ast.ClassDef) -> bool:
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            if _terminal_name(target) == "dataclass":
+                return True
+        return False
+
+    def _dataclass_frozen(self, node: ast.ClassDef) -> bool:
+        for deco in node.decorator_list:
+            if isinstance(deco, ast.Call) and _terminal_name(deco.func) == "dataclass":
+                for kw in deco.keywords:
+                    if (
+                        kw.arg == "frozen"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        return True
+        return False

@@ -24,6 +24,8 @@
   variants (NoM, NoP) plus pure-IaaS / pure-serverless baselines.
 """
 
+from typing import Any
+
 from repro.core.config import AmoebaConfig
 from repro.core.queueing import (
     discriminant_lambda,
@@ -39,7 +41,7 @@ from repro.core.queueing import (
 )
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     # lazy: the runtime pulls in the platform packages, which themselves
     # use repro.core.queueing — a module-level import here would cycle
     if name == "AmoebaRuntime":

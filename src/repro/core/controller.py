@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from repro.core.monitor import ContentionMonitor, sample_period
 from repro.core.mu_model import MuEstimate, mu_value
 from repro.core.queueing import max_arrival_rate, max_arrival_rate_gg
 from repro.sim.environment import Environment
+from repro.sim.events import Event
 from repro.workloads.functionbench import MicroserviceSpec
 
 __all__ = ["ControllerDecision", "DeploymentController"]
@@ -65,7 +66,7 @@ class DeploymentController:
         monitor: ContentionMonitor,
         config: AmoebaConfig,
         guard: Optional[Callable[[float, float], bool]] = None,
-    ):
+    ) -> None:
         """``guard(load, service_time)`` is the co-tenant QoS check: it
         receives this service's load and predicted serverless service
         time and returns True when switching in will not break any
@@ -91,7 +92,7 @@ class DeploymentController:
         self._proc = env.process(self._run())
 
     # -- the decision loop ----------------------------------------------------
-    def _run(self):
+    def _run(self) -> Iterator[Event]:
         cfg = self.config
         spec = self.spec
         name = spec.name

@@ -21,7 +21,7 @@ Owns one microservice's two deployments and the route between them:
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.core.config import AmoebaConfig
 from repro.core.prewarm import prewarm_count
@@ -57,7 +57,7 @@ class HybridExecutionEngine:
         config: AmoebaConfig,
         rng: RngRegistry,
         initial_mode: DeployMode = DeployMode.IAAS,
-    ):
+    ) -> None:
         self.env = env
         self.spec = spec
         self.iaas = iaas_service
@@ -126,7 +126,7 @@ class HybridExecutionEngine:
         self.last_switch_time = self.env.now
         self.switching = False
 
-    def _switch_to_serverless(self, load: float):
+    def _switch_to_serverless(self, load: float) -> Iterator[Event]:
         if self.config.prewarm:
             n = prewarm_count(
                 load,
@@ -143,7 +143,7 @@ class HybridExecutionEngine:
         if self.iaas.state is ServiceState.RUNNING:
             self._drain_event = self.iaas.undeploy()
 
-    def _switch_to_iaas(self):
+    def _switch_to_iaas(self) -> Iterator[Event]:
         # a rapid flip-back can catch the previous rental still draining
         if self.iaas.state is ServiceState.DRAINING and self._drain_event is not None:
             yield self._drain_event

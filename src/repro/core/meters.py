@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
 
 import numpy as np
 
@@ -36,6 +36,7 @@ from repro.cluster.resource_model import (
 )
 from repro.cluster.spec import NodeSpec
 from repro.serverless.config import ServerlessConfig
+from repro.sim.events import Event
 from repro.workloads.functionbench import MicroserviceSpec
 
 __all__ = [
@@ -245,7 +246,11 @@ def profile_meter_measured(
         )
         remove = platform.machine.inject_background(background)
 
-        def driver(env=env, platform=platform, meter=meter):
+        def driver(
+            env: Environment = env,
+            platform: ServerlessPlatform = platform,
+            meter: MicroserviceSpec = meter,
+        ) -> Iterator[Event]:
             from repro.workloads.loadgen import Query
 
             for k in range(queries_per_point):

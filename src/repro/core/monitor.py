@@ -25,7 +25,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Tuple
+from typing import Deque, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.core.meters import AXIS_METERS, METER_SPECS, MeterProfile, profile_me
 from repro.core.surfaces import SurfaceSet
 from repro.serverless.platform import ServerlessPlatform
 from repro.sim.environment import Environment
+from repro.sim.events import Event
 from repro.sim.rng import RngRegistry
 from repro.telemetry import ServiceMetrics
 from repro.workloads.loadgen import Query
@@ -122,7 +123,7 @@ class ContentionMonitor:
         config: AmoebaConfig,
         rng: RngRegistry,
         profiles: Optional[Dict[str, MeterProfile]] = None,
-    ):
+    ) -> None:
         self.env = env
         self.platform = platform
         self.config = config
@@ -158,7 +159,7 @@ class ContentionMonitor:
             offset = (i / len(AXIS_METERS)) * period
             self.env.process(self._daemon(name, offset, period))
 
-    def _daemon(self, name: str, offset: float, period: float):
+    def _daemon(self, name: str, offset: float, period: float) -> Iterator[Event]:
         yield self.env.timeout(offset)
         while True:
             q = Query(

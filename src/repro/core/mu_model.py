@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 __all__ = ["MuEstimate", "NOM_WEIGHTS", "predicted_latency", "mu_value"]
 
@@ -55,8 +56,8 @@ class MuEstimate:
 
 def predicted_latency(
     solo_latency: float,
-    axis_latencies,
-    weights,
+    axis_latencies: "ArrayLike",
+    weights: "ArrayLike",
     alpha: float,
     bias: float = 0.0,
 ) -> float:
@@ -81,8 +82,8 @@ def predicted_latency(
 def mu_value(
     service: str,
     solo_latency: float,
-    axis_latencies,
-    weights,
+    axis_latencies: "ArrayLike",
+    weights: "ArrayLike",
     alpha: float,
     bias: float = 0.0,
 ) -> MuEstimate:

@@ -22,7 +22,7 @@ The ablation variants are configuration: ``AmoebaConfig.variant_nom()``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.cluster.accounting import UsageSample
 from repro.cluster.resource_model import ContentionConfig
@@ -86,7 +86,7 @@ class AmoebaRuntime:
         contention: Optional[ContentionConfig] = None,
         flavor: Optional[VMFlavor] = None,
         env: Optional[Environment] = None,
-    ):
+    ) -> None:
         self.env = env if env is not None else Environment()
         self.rng = RngRegistry(seed=seed)
         self.config = config if config is not None else AmoebaConfig()
@@ -202,7 +202,7 @@ class AmoebaRuntime:
         return bg
 
     # -- the co-tenant QoS guard (paper SIII) --------------------------------------
-    def _make_guard(self, name: str):
+    def _make_guard(self, name: str) -> Callable[[float, float], bool]:
         def guard(load: float, service_time: float) -> bool:
             return self.switch_in_is_safe(name, load, service_time)
 
@@ -249,7 +249,7 @@ class AmoebaRuntime:
                 return False
         return True
 
-    def _serverless_tenants(self):
+    def _serverless_tenants(self) -> Iterator[Tuple[str, MicroserviceSpec, ServiceMetrics, SurfaceSet]]:
         """(name, spec, metrics, surfaces) of services now on serverless."""
         for bg_name, bg in self.background.items():
             yield bg_name, bg.spec, bg.metrics, bg.surfaces

@@ -17,9 +17,10 @@ Fig. 9 bench uses it, and a test checks the two agree).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.cluster.resource_model import ContentionConfig
 from repro.cluster.spec import NodeSpec
@@ -198,8 +199,8 @@ def build_surface_set(
 def measured_surface(
     spec: MicroserviceSpec,
     axis: int,
-    pressures,
-    loads,
+    pressures: "ArrayLike",
+    loads: "ArrayLike",
     node: Optional[NodeSpec] = None,
     contention: Optional[ContentionConfig] = None,
     cfg: Optional[ServerlessConfig] = None,
@@ -216,6 +217,7 @@ def measured_surface(
     """
     from repro.serverless.platform import ServerlessPlatform
     from repro.sim.environment import Environment
+    from repro.sim.events import Event
     from repro.sim.rng import RngRegistry
     from repro.telemetry import ServiceMetrics
     from repro.workloads.loadgen import LoadGenerator, Query
@@ -245,13 +247,13 @@ def measured_surface(
             platform.machine.inject_background(background)
             exec_times: list[float] = []
 
-            def sink(q: Query, exec_times=exec_times):
+            def sink(q: Query, exec_times: list[float] = exec_times) -> None:
                 pass
 
             if v > 0:
                 collected: list[Query] = []
 
-                def submit(q: Query, platform=platform):
+                def submit(q: Query, platform: ServerlessPlatform = platform) -> None:
                     platform.invoke(q)
 
                 LoadGenerator(env, spec.name, ConstantTrace(float(v)), submit, rng)
@@ -259,7 +261,9 @@ def measured_surface(
                 mean_exec = metrics.breakdown_sums["exec"] / max(metrics.completed, 1)
             else:
                 # a few solo queries
-                def solo(env=env, platform=platform):
+                def solo(
+                    env: Environment = env, platform: ServerlessPlatform = platform
+                ) -> Iterator[Event]:
                     for k in range(10):
                         q = Query(qid=k, service=spec.name, t_submit=env.now)
                         platform.invoke(q)

@@ -43,7 +43,7 @@ class Container:
 
     __slots__ = ("cid", "spec", "state", "created_at", "warm_since", "invocations", "reap_event", "prewarmed")
 
-    def __init__(self, spec: "MicroserviceSpec", created_at: float, prewarmed: bool = False):
+    def __init__(self, spec: "MicroserviceSpec", created_at: float, prewarmed: bool = False) -> None:
         self.cid = next(_ids)
         self.spec = spec
         self.state = ContainerState.INITIALIZING

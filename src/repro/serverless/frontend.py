@@ -27,7 +27,7 @@ class Frontend:
         pool: ContainerPool,
         config: ServerlessConfig,
         rng: RngRegistry,
-    ):
+    ) -> None:
         self.env = env
         self.pool = pool
         self.config = config

@@ -38,7 +38,7 @@ class ServerlessPlatform:
         node: Optional[NodeSpec] = None,
         config: Optional[ServerlessConfig] = None,
         contention: Optional[ContentionConfig] = None,
-    ):
+    ) -> None:
         self.env = env
         self.rng = rng
         self.node = node if node is not None else NodeSpec(name="serverless")

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, Optional, Tuple
+from typing import Callable, Deque, Dict, Iterator, Optional, Tuple
 
 from repro.cluster.accounting import UsageLedger
 from repro.cluster.resource_model import DemandVector, MachineModel, SensitivityVector
@@ -84,7 +84,7 @@ class ContainerPool:
         machine: MachineModel,
         config: ServerlessConfig,
         rng: RngRegistry,
-    ):
+    ) -> None:
         self.env = env
         self.machine = machine
         self.config = config
@@ -182,7 +182,7 @@ class ContainerPool:
         self.env.process(self._cold_start(fs, container, ready))
         return ready
 
-    def _cold_start(self, fs: FunctionState, container: Container, ready: Event):
+    def _cold_start(self, fs: FunctionState, container: Container, ready: Event) -> Iterator[Event]:
         cfg = self.config
         boot = self.rng.lognormal_around(
             f"coldstart/{fs.spec.name}", cfg.cold_start_median, cfg.cold_start_sigma

@@ -16,7 +16,7 @@ events) no matter how often schedulers re-plan.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.sim.events import AllOf, AnyOf, Callback, Event, Timeout
 from repro.sim.process import Process
@@ -49,7 +49,7 @@ class Environment:
     #: compaction only kicks in past this heap size (small heaps drain fast)
     _COMPACT_MIN = 64
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
@@ -100,11 +100,11 @@ class Environment:
         """Start a new :class:`Process` driving ``generator``."""
         return Process(self, generator)
 
-    def all_of(self, events) -> AllOf:
+    def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that fires when all of ``events`` have fired."""
         return AllOf(self, events)
 
-    def any_of(self, events) -> AnyOf:
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Event that fires when any of ``events`` has fired."""
         return AnyOf(self, events)
 

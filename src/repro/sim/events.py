@@ -50,7 +50,7 @@ class Interrupt(Exception):
     (e.g. a string reason or a richer object).
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -67,7 +67,7 @@ class Event:
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused", "_cancelled")
 
-    def __init__(self, env: "Environment"):
+    def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = None
@@ -186,7 +186,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None, priority: int = 1):
+    def __init__(self, env: "Environment", delay: float, value: Any = None, priority: int = 1) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         # flattened Event.__init__: a Timeout is created for every yield on
@@ -218,7 +218,7 @@ class Callback(Event):
 
     __slots__ = ("_fn",)
 
-    def __init__(self, env: "Environment", delay: float, fn: Callable[[], None], priority: int = 1):
+    def __init__(self, env: "Environment", delay: float, fn: Callable[[], None], priority: int = 1) -> None:
         if delay < 0:
             raise ValueError(f"negative callback delay: {delay}")
         self.env = env
@@ -246,7 +246,7 @@ class ConditionEvent(Event):
     child event to its value, in child order.
     """
 
-    def __init__(self, env: "Environment", events: Iterable[Event]):
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self._events: tuple[Event, ...] = tuple(events)
         self._count = 0

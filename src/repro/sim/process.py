@@ -25,7 +25,7 @@ class Process(Event):
 
     __slots__ = ("_generator", "_target", "name")
 
-    def __init__(self, env: "Environment", generator: Generator, name: Optional[str] = None):
+    def __init__(self, env: "Environment", generator: Generator, name: Optional[str] = None) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"process() needs a generator, got {generator!r}")
         super().__init__(env)

@@ -37,7 +37,7 @@ class _Request(Event):
 
     __slots__ = ("resource",)
 
-    def __init__(self, env: "Environment", resource: "Resource"):
+    def __init__(self, env: "Environment", resource: "Resource") -> None:
         super().__init__(env)
         self.resource = resource
 
@@ -53,7 +53,7 @@ class Resource:
         Number of concurrent holders allowed; must be >= 1.
     """
 
-    def __init__(self, env: "Environment", capacity: int = 1):
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.env = env
@@ -118,7 +118,7 @@ class Resource:
 class PriorityResource(Resource):
     """A :class:`Resource` whose waiters are served lowest-priority-first."""
 
-    def __init__(self, env: "Environment", capacity: int = 1):
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
         super().__init__(env, capacity)
         self._pqueue: list[tuple[float, int, _Request]] = []
         self._tiebreak = itertools.count()
@@ -163,7 +163,7 @@ class Store:
     available; ``put(item)`` fires once there is room.
     """
 
-    def __init__(self, env: "Environment", capacity: float = float("inf")):
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env

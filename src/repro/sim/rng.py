@@ -17,7 +17,7 @@ components create their RNGs lazily.
 from __future__ import annotations
 
 import zlib
-from typing import Dict
+from typing import Callable, Dict
 
 import numpy as np
 
@@ -27,7 +27,7 @@ __all__ = ["RngRegistry"]
 class RngRegistry:
     """Factory for named, independently seeded RNG substreams."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         if seed < 0:
             raise ValueError(f"seed must be non-negative, got {seed}")
         self._seed = int(seed)
@@ -66,7 +66,7 @@ class RngRegistry:
             raise ValueError(f"median must be positive, got {median}")
         return float(median * np.exp(self.stream(name).normal(0.0, sigma)))
 
-    def lognormal_sampler(self, name: str, median: float, sigma: float):
+    def lognormal_sampler(self, name: str, median: float, sigma: float) -> Callable[[], float]:
         """A zero-argument sampler equivalent to :meth:`lognormal_around`.
 
         Hot paths call this once and keep the returned callable: each draw

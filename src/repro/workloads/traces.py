@@ -145,7 +145,8 @@ class DiurnalTrace(Trace):
         # of 1440 cells, wrapped periodically, so rate() is a pure
         # function of t
         n = 1440
-        rng = np.random.default_rng(seed)
+        # explicitly seeded one-shot noise table, deterministic given `seed`
+        rng = np.random.default_rng(seed)  # simlint: ignore[SIM002]
         ar = np.empty(n)
         ar[0] = 0.0
         alpha = 0.9

@@ -1,0 +1,8 @@
+"""GOOD: the CLI driver may time the host run (SIM001 path exemption)."""
+
+import time
+
+
+def timed_run() -> float:
+    t0 = time.time()
+    return time.time() - t0

@@ -1,0 +1,7 @@
+"""GOOD: sim/rng.py itself may construct numpy RNGs (SIM002 path exemption)."""
+
+import numpy as np
+
+
+def make_stream(seed: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence(entropy=seed))

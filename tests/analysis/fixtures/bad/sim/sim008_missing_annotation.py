@@ -1,0 +1,14 @@
+"""BAD: public kernel function without a return annotation (SIM008).
+
+Lives under a ``sim/`` path segment so the annotation rule applies,
+mirroring ``src/repro/sim/``.
+"""
+
+
+def advance(env, delay: float):
+    return env.timeout(delay)
+
+
+class Clock:
+    def __init__(self, start: float):
+        self.now_value = start

@@ -1,0 +1,12 @@
+"""BAD: reads the wall clock inside simulation code (SIM001)."""
+
+import time
+from datetime import datetime
+
+
+def measure_latency() -> float:
+    start = time.time()
+    time.sleep(0.01)
+    stamp = datetime.now()
+    _ = stamp
+    return time.perf_counter() - start

@@ -1,0 +1,10 @@
+"""BAD: constructs RNGs outside sim/rng.py (SIM002)."""
+
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    gen = np.random.default_rng()
+    return float(gen.normal()) + random.random()

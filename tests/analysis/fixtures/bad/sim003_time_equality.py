@@ -1,0 +1,7 @@
+"""BAD: exact equality on simulated-time expressions (SIM003)."""
+
+
+def is_due(now: float, deadline: float, t_start: float) -> bool:
+    if now == deadline:
+        return True
+    return t_start != 0.0

@@ -1,0 +1,11 @@
+"""BAD: re-arms / re-schedules an Event after cancelling it (SIM004)."""
+
+
+def replan(env, timer, completion):
+    timer.cancel()
+    timer.succeed(None)
+
+
+def requeue(env, event):
+    event.cancel()
+    env.schedule(event)

@@ -1,0 +1,6 @@
+"""BAD: mutable default argument shared across calls (SIM005)."""
+
+
+def record(sample: float, history: list = []) -> list:
+    history.append(sample)
+    return history

@@ -1,0 +1,8 @@
+"""BAD: bare except swallows kernel control-flow exceptions (SIM006)."""
+
+
+def drain(env) -> None:
+    try:
+        env.run()
+    except:
+        pass

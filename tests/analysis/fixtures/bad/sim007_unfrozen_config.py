@@ -1,0 +1,9 @@
+"""BAD: config dataclass that is not frozen (SIM007)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MeterConfig:
+    qps: float = 1.0
+    window: int = 30

@@ -1,0 +1,43 @@
+"""GOOD: compliant counterparts of every bad fixture.
+
+Simulated time flows through the environment, randomness through the
+registry, no exact time equality, no rescheduling of cancelled events,
+no mutable defaults, no bare except, frozen config dataclass.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class RetryConfig:
+    attempts: int = 3
+    backoff: float = 0.5
+
+
+def is_due(now: float, deadline: float) -> bool:
+    return now >= deadline
+
+
+def record(sample: float, history: Optional[List[float]] = None) -> List[float]:
+    if history is None:
+        history = []
+    history.append(sample)
+    return history
+
+
+def jitter(registry) -> float:
+    return float(registry.stream("jitter").normal())
+
+
+def replan(env, timer, delay: float):
+    timer.cancel()
+    timer = env.timeout(delay)
+    return timer
+
+
+def drain(env) -> None:
+    try:
+        env.run()
+    except RuntimeError:
+        pass

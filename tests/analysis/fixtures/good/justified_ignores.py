@@ -1,0 +1,16 @@
+"""GOOD: intentional violations silenced by the inline escape hatch."""
+
+import time
+
+import numpy as np
+
+
+def host_profile() -> float:
+    # host-side profiling hook, never inside a simulation
+    return time.time()  # simlint: ignore[SIM001]
+
+
+def scratch_rng() -> float:
+    # throwaway generator in a module-level example, explicitly seeded
+    gen = np.random.default_rng(7)  # simlint: ignore[SIM002]
+    return float(gen.normal())

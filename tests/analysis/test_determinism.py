@@ -1,0 +1,32 @@
+"""End-to-end determinism: the property every SIM rule exists to protect.
+
+Two runs of the same scenario with the same seed, each in a fresh
+:class:`Environment`, must produce per-query latencies that are identical
+down to the last bit (``float.hex`` equality, stricter than ``==`` in
+intent: it also distinguishes ``-0.0`` and surfaces the exact
+representation in failure output).  A different seed must change them —
+otherwise the "determinism" would just be insensitivity to the RNG.
+"""
+
+from __future__ import annotations
+
+from tests.cluster.golden_scenario import SEED, run_golden_scenario
+
+
+def test_same_seed_bit_identical_latencies():
+    first = [lat.hex() for lat in run_golden_scenario(SEED)]
+    second = [lat.hex() for lat in run_golden_scenario(SEED)]
+    assert first == second
+
+
+def test_other_seed_also_self_reproduces():
+    alt = SEED + 1
+    assert [x.hex() for x in run_golden_scenario(alt)] == [
+        x.hex() for x in run_golden_scenario(alt)
+    ]
+
+
+def test_different_seed_changes_latencies():
+    base = [lat.hex() for lat in run_golden_scenario(SEED)]
+    other = [lat.hex() for lat in run_golden_scenario(SEED + 1)]
+    assert base != other

@@ -1,0 +1,135 @@
+"""Self-test corpus for the sim-kernel linter.
+
+Each SIM rule has one bad fixture that must be flagged (and make the CLI
+exit non-zero) and compliant code that must stay clean, including the
+path exemptions and the inline ``# simlint: ignore[...]`` escape hatch.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import lint_file, lint_source, main
+from repro.analysis.rules import RULES
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+BAD_FIXTURES = {
+    "SIM001": FIXTURES / "bad" / "sim001_wall_clock.py",
+    "SIM002": FIXTURES / "bad" / "sim002_stray_rng.py",
+    "SIM003": FIXTURES / "bad" / "sim003_time_equality.py",
+    "SIM004": FIXTURES / "bad" / "sim004_cancelled_reschedule.py",
+    "SIM005": FIXTURES / "bad" / "sim005_mutable_default.py",
+    "SIM006": FIXTURES / "bad" / "sim006_bare_except.py",
+    "SIM007": FIXTURES / "bad" / "sim007_unfrozen_config.py",
+    "SIM008": FIXTURES / "bad" / "sim" / "sim008_missing_annotation.py",
+}
+
+GOOD_FIXTURES = [
+    FIXTURES / "good" / "clean_module.py",
+    FIXTURES / "good" / "justified_ignores.py",
+    FIXTURES / "allowed" / "experiments" / "__main__.py",
+    FIXTURES / "allowed" / "sim" / "rng.py",
+]
+
+
+def test_every_rule_has_a_bad_fixture():
+    assert set(BAD_FIXTURES) == {rule.id for rule in RULES}
+
+
+@pytest.mark.parametrize("rule_id", sorted(BAD_FIXTURES))
+def test_bad_fixture_trips_exactly_its_rule(rule_id):
+    violations = lint_file(BAD_FIXTURES[rule_id])
+    assert violations, f"{rule_id} fixture produced no violations"
+    assert {v.rule_id for v in violations} == {rule_id}
+
+
+@pytest.mark.parametrize("rule_id", sorted(BAD_FIXTURES))
+def test_bad_fixture_fails_the_cli(rule_id, capsys):
+    assert main([str(BAD_FIXTURES[rule_id])]) == 1
+    out = capsys.readouterr().out
+    assert rule_id in out
+
+
+@pytest.mark.parametrize("path", GOOD_FIXTURES, ids=lambda p: p.name)
+def test_good_fixture_is_clean(path):
+    assert lint_file(path) == []
+
+
+def test_cli_green_on_good_corpus():
+    assert main([str(FIXTURES / "good"), str(FIXTURES / "allowed")]) == 0
+
+
+def test_violation_render_format():
+    (violation,) = lint_file(BAD_FIXTURES["SIM006"])
+    rendered = violation.render()
+    assert rendered.startswith(str(BAD_FIXTURES["SIM006"]))
+    assert ":7:" in rendered and "SIM006" in rendered
+
+
+def test_blanket_ignore_silences_every_rule():
+    source = "def f(x=[]):  # simlint: ignore\n    return x\n"
+    assert lint_source(source, "mod.py") == []
+
+
+def test_targeted_ignore_only_silences_named_rule():
+    source = "import time\n\n\ndef f(x=[]):  # simlint: ignore[SIM005]\n    return time.time()\n"
+    violations = lint_source(source, "mod.py")
+    assert {v.rule_id for v in violations} == {"SIM001"}
+
+
+def test_ignore_on_other_line_does_not_apply():
+    source = "# simlint: ignore[SIM005]\ndef f(x=[]):\n    return x\n"
+    assert {v.rule_id for v in lint_source(source, "mod.py")} == {"SIM005"}
+
+
+def test_reassignment_clears_cancelled_tracking():
+    source = (
+        "def replan(env, timer):\n"
+        "    timer.cancel()\n"
+        "    timer = env.timeout(1.0)\n"
+        "    timer.succeed(None)\n"
+    )
+    assert lint_source(source, "mod.py") == []
+
+
+def test_import_aliases_are_resolved():
+    source = (
+        "from numpy.random import default_rng\n"
+        "from time import perf_counter as pc\n"
+        "\n"
+        "\n"
+        "def f() -> float:\n"
+        "    return default_rng().normal() + pc()\n"
+    )
+    rule_ids = sorted(v.rule_id for v in lint_source(source, "mod.py"))
+    assert rule_ids == ["SIM001", "SIM002"]
+
+
+def test_time_comparison_against_string_is_not_flagged():
+    source = "def f(mode_time: str) -> bool:\n    return mode_time == 'iaas'\n"
+    assert lint_source(source, "mod.py") == []
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule.id in out
+
+
+def test_cli_missing_path_is_an_error(capsys):
+    assert main(["does/not/exist.py"]) == 2
+
+
+def test_syntax_error_is_a_hard_error(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    assert main([str(broken)]) == 2
+
+
+def test_repo_src_tree_is_clean():
+    src = Path(__file__).resolve().parents[2] / "src"
+    assert main([str(src)]) == 0, "src/ must satisfy every SIM rule (see failures above)"
