@@ -2,14 +2,17 @@
 # The single development gate: every PR must pass this locally and in CI.
 #
 #   1. simlint  — the repo's own AST linter for sim-kernel invariants
-#                 (SIM001..SIM008, see DESIGN.md §7).  Always runs; pure
+#                 (SIM001..SIM009, see DESIGN.md §7).  Always runs; pure
 #                 stdlib, so there is no environment where it can't.
 #   2. mypy     — strict typing on repro.sim / repro.core /
 #                 repro.serverless (config in pyproject.toml).  Skipped
 #                 with a warning when mypy is not installed.
 #   3. ruff     — baseline style layer (config in pyproject.toml).
 #                 Skipped with a warning when ruff is not installed.
-#   4. pytest   — the quick test tier (slow end-to-end benches excluded;
+#   4. chaos    — zero-fault determinism gate: a chaos scenario with all
+#                 fault rates scaled to zero must be float.hex-identical
+#                 to a run with no fault layer at all (DESIGN.md §8).
+#   5. pytest   — the quick test tier (slow end-to-end benches excluded;
 #                 run `pytest` with no -m filter for the full tier).
 #
 # Usage: scripts/check.sh
@@ -34,6 +37,23 @@ if python -c "import ruff" >/dev/null 2>&1 || command -v ruff >/dev/null 2>&1; t
 else
     echo "warning: ruff not installed; skipping the style gate" >&2
 fi
+
+echo "== chaos: zero-fault plan is bit-identical to no fault layer =="
+python - <<'EOF'
+from repro.experiments.runner import run_amoeba
+from repro.experiments.scenarios import chaos_scenario, default_scenario
+
+plain = run_amoeba(default_scenario("matmul", day=600.0, seed=0))
+zero = run_amoeba(chaos_scenario("matmul", fault_scale=0.0, day=600.0, seed=0))
+assert zero.faults is not None and zero.faults.total_injected == 0
+
+def hexes(result):
+    return [x.hex() for x in result.services["matmul"].metrics.latencies.values()]
+
+if hexes(zero) != hexes(plain):
+    raise SystemExit("zero-fault chaos run diverged from the no-fault-layer baseline")
+print("zero-fault chaos run is bit-identical to the baseline")
+EOF
 
 echo "== pytest: quick tier =="
 python -m pytest -x -q -m "not slow"

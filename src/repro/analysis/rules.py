@@ -84,6 +84,14 @@ RULES: Tuple[Rule, ...] = (
         "kernel APIs are contracts; unannotated returns let time/rate "
         "unit mixups (seconds vs. queries/s) slip through the type gate",
     ),
+    Rule(
+        "SIM009",
+        "fault probability folded into control flow as a module constant",
+        "fault rates must travel through a FaultPlan and be drawn from a "
+        "named RngRegistry stream (repro.faults); a module-level constant "
+        "compared in control flow cannot be swept, scaled to zero, or "
+        "reproduced from the root seed",
+    ),
 )
 
 RULE_IDS: Set[str] = {rule.id for rule in RULES}
@@ -142,6 +150,13 @@ _MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray", "defaultdict", "deque"
 #: path segments that mark kernel packages for SIM008
 _ANNOTATED_PACKAGES = {"core", "sim"}
 
+#: names that look like a fault-injection probability/rate (SIM009);
+#: matched against module-level constant bindings only — FaultPlan
+#: *fields* (class scope) are the sanctioned home for these numbers
+_FAULT_PROB_NAME_RE = re.compile(
+    r"(?i)^\w*(fault|fail(ure)?|crash|outage|drop|loss)\w*_(prob(ability)?|rate|p)$"
+)
+
 
 def _dotted_name(node: ast.AST) -> Optional[str]:
     """``a.b.c`` for a Name/Attribute chain, else None."""
@@ -187,6 +202,9 @@ class InvariantVisitor(ast.NodeVisitor):
         #: stack of per-function {name -> cancel line} maps for SIM004
         self._cancelled_stack: List[Dict[str, int]] = []
         self._function_depth = 0
+        self._class_depth = 0
+        #: module-level fault-probability constants {name -> def line} (SIM009)
+        self._fault_prob_consts: Dict[str, int] = {}
 
     # -- helpers -----------------------------------------------------------
     def _report(self, node: ast.AST, rule_id: str, message: str) -> None:
@@ -296,11 +314,58 @@ class InvariantVisitor(ast.NodeVisitor):
                 name = _terminal_name(target)
                 if name in cancelled:
                     del cancelled[name]
+        for target in node.targets:
+            self._record_fault_prob_const(target, node.value)
         self.generic_visit(node)
 
-    # -- SIM003 (time equality) --------------------------------------------
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_fault_prob_const(node.target, node.value)
+        self.generic_visit(node)
+
+    # -- SIM009 (fault probabilities as module constants) ------------------
+    def _record_fault_prob_const(self, target: ast.AST, value: ast.AST) -> None:
+        """Remember ``CRASH_PROB = 0.01``-style module-level bindings.
+
+        Class scope is exempt: (Ann)Assigns there are dataclass fields,
+        and a ``FaultPlan`` field is exactly where the number belongs.
+        """
+        if self._function_depth > 0 or self._class_depth > 0:
+            return
+        if not (
+            isinstance(target, ast.Name)
+            and _FAULT_PROB_NAME_RE.match(target.id)
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, (int, float))
+            and not isinstance(value.value, bool)
+        ):
+            return
+        self._fault_prob_consts[target.id] = target.lineno
+
+    def _check_fault_prob_use(self, operand: ast.AST, node: ast.AST) -> bool:
+        if not (isinstance(operand, ast.Name) and operand.id in self._fault_prob_consts):
+            return False
+        self._report(
+            node,
+            "SIM009",
+            f"'{operand.id}' (module constant, line "
+            f"{self._fault_prob_consts[operand.id]}) gates control flow; fault "
+            "probabilities must live on a FaultPlan and be drawn via a named "
+            "RngRegistry stream (FaultInjector) so runs stay seed-reproducible "
+            "and sweepable to zero",
+        )
+        return True
+
+    def visit_If(self, node: ast.If) -> None:
+        self._check_fault_prob_use(node.test, node)
+        self.generic_visit(node)
+
+    # -- SIM003 (time equality) / SIM009 (fault-prob comparisons) ----------
     def visit_Compare(self, node: ast.Compare) -> None:
         operands = [node.left] + list(node.comparators)
+        for operand in operands:
+            if self._check_fault_prob_use(operand, node):
+                break
         for op, (lhs, rhs) in zip(node.ops, zip(operands, operands[1:])):
             if not isinstance(op, (ast.Eq, ast.NotEq)):
                 continue
@@ -389,7 +454,11 @@ class InvariantVisitor(ast.NodeVisitor):
                 f"config dataclass '{node.name}' must be @dataclass(frozen=True); "
                 "configs are shared across runs and hashed by ablation sweeps",
             )
-        self.generic_visit(node)
+        self._class_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._class_depth -= 1
 
     def _is_config_dataclass(self, node: ast.ClassDef) -> bool:
         if not self._has_dataclass_decorator(node):

@@ -62,6 +62,16 @@ class AmoebaConfig:
     surface_pressure_max: float = 1.6
     surface_pressure_points: int = 9
     surface_load_points: int = 8
+    # -- switch-protocol degradation deadlines (fault tolerance) ----------
+    #: deadline for the prewarm acknowledgement before a switch-in aborts
+    switch_ack_timeout: float = 30.0
+    #: deadline for the VM boot before a switch-out aborts
+    switch_boot_timeout: float = 120.0
+    #: deadline for the old rental's drain before it is force-released
+    drain_timeout: float = 120.0
+    #: meters silent for more than this many decision periods → the
+    #: controller enters stale-telemetry safe mode (pins IaaS)
+    telemetry_stale_periods: float = 3.0
 
     def __post_init__(self) -> None:
         if not 0.0 < self.r_ile < 1.0:
@@ -90,6 +100,10 @@ class AmoebaConfig:
             raise ValueError(f"unknown discriminant {self.discriminant!r}")
         if not 0.0 < self.naive_rho_max < 1.0:
             raise ValueError(f"naive_rho_max must be in (0, 1), got {self.naive_rho_max}")
+        if self.switch_ack_timeout <= 0 or self.switch_boot_timeout <= 0:
+            raise ValueError("switch deadlines must be positive")
+        if self.drain_timeout <= 0 or self.telemetry_stale_periods <= 0:
+            raise ValueError("drain_timeout and telemetry_stale_periods must be positive")
 
     def variant_nom(self) -> "AmoebaConfig":
         """Amoeba-NoM: PCA correction disabled (§VII-C)."""

@@ -53,6 +53,11 @@ class ControllerDecision:
     guard_blocked: bool
     weights: Tuple[float, float, float]
     pressures: Tuple[float, float, float]
+    #: True when this decision ran under stale-telemetry safe mode (the
+    #: meters had been silent past the staleness budget, so the
+    #: controller pinned the conservative IaaS mode instead of trusting
+    #: an outdated pressure vector)
+    safe_mode: bool = False
 
 
 class DeploymentController:
@@ -78,6 +83,8 @@ class DeploymentController:
         self.config = config
         self.guard = guard
         self.decisions: List[ControllerDecision] = []
+        #: decision periods spent in stale-telemetry safe mode
+        self.safe_mode_periods = 0
         # Eq. 8: the sample period must absorb one accidental cold start
         platform_cfg = engine.serverless.config
         t_min = sample_period(
@@ -101,6 +108,33 @@ class DeploymentController:
             now = self.env.now
             metrics = self.engine.metrics
             load = metrics.load.rate(now)
+
+            # stale-telemetry safe mode: meters silent past the staleness
+            # budget make the pressure vector fiction — pin the
+            # conservative IaaS deployment instead of trusting it, skip
+            # feedback (it would be regressed against stale pressures),
+            # and flag the decision record
+            if self.monitor.telemetry_age(now) > cfg.telemetry_stale_periods * self.period:
+                self.safe_mode_periods += 1
+                switched = False
+                if self.engine.mode is DeployMode.SERVERLESS:
+                    switched = self.engine.request_switch(DeployMode.IAAS, load)
+                self.decisions.append(
+                    ControllerDecision(
+                        time=now,
+                        load=load,
+                        mu=float("nan"),
+                        lambda_max=0.0,
+                        mode=self.engine.mode,
+                        switched=switched,
+                        switch_target=DeployMode.IAAS if switched else None,
+                        guard_blocked=False,
+                        weights=(float("nan"), float("nan"), float("nan")),
+                        pressures=(float("nan"), float("nan"), float("nan")),
+                        safe_mode=True,
+                    )
+                )
+                continue
 
             # feedback to the monitor: latest serverless-path observation
             observed = self._serverless_observation()

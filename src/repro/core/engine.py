@@ -16,11 +16,18 @@ Owns one microservice's two deployments and the route between them:
   pool's keep-alive.
 * **Amoeba-NoP** (§VII-D) — with prewarming disabled the route flips
   immediately and the first wave of queries pays cold starts.
+* **Graceful degradation** — every switch leg runs under a guard that
+  cannot leave ``switching`` stuck: the prewarm ack and the VM boot are
+  raced against deadlines (a lost ack or a failed boot aborts the
+  switch, re-enters dwell, and logs the abort in ``switch_aborts``), a
+  stuck drain is force-released by a watchdog, and any exception inside
+  a switch process aborts cleanly instead of wedging the engine.
 """
 
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from typing import Iterator, List, Optional, Tuple
 
 from repro.core.config import AmoebaConfig
@@ -70,8 +77,14 @@ class HybridExecutionEngine:
         self.last_switch_time = -float("inf")
         #: (time, mode) — Fig. 12's deploy-mode timeline
         self.mode_timeline: List[Tuple[float, DeployMode]] = [(env.now, initial_mode)]
+        #: flip timestamps, parallel to mode_timeline (bisect key)
+        self._timeline_times: List[float] = [env.now]
         #: (time, target mode, load at decision) — Fig. 12's star markers
         self.switch_events: List[Tuple[float, DeployMode, float]] = []
+        #: (time, target mode, reason) — switches that timed out or died
+        self.switch_aborts: List[Tuple[float, DeployMode, str]] = []
+        #: drains the watchdog had to force-release
+        self.drain_force_releases = 0
         self._canary_stream = rng.stream(f"canary/{spec.name}")
         self._canary_ids = 0
         self._drain_event: Optional[Event] = None
@@ -115,14 +128,38 @@ class HybridExecutionEngine:
         self.switching = True
         self.switch_events.append((self.env.now, target, load))
         if target is DeployMode.SERVERLESS:
-            self.env.process(self._switch_to_serverless(load))
+            body = self._switch_to_serverless(load)
         else:
-            self.env.process(self._switch_to_iaas())
+            body = self._switch_to_iaas()
+        self.env.process(self._guarded(body, target))
         return True
+
+    def _guarded(self, body: Iterator[Event], target: DeployMode) -> Iterator[Event]:
+        """Run a switch leg under the no-wedge guarantee.
+
+        Whatever happens inside the body — a failed boot thrown into the
+        generator, a bug, a cancelled event — the ``switching`` flag is
+        cleared on the way out, so one dead switch can never permanently
+        pin the engine.
+        """
+        try:
+            yield from body
+        except Exception as exc:
+            self._abort_switch(target, f"{type(exc).__name__}: {exc}")
+        finally:
+            if self.switching:
+                self._abort_switch(target, "switch process exited without flipping")
+
+    def _abort_switch(self, target: DeployMode, reason: str) -> None:
+        """Roll a failed switch back: clear the flag, re-enter dwell, log."""
+        self.switching = False
+        self.last_switch_time = self.env.now  # full dwell before retrying
+        self.switch_aborts.append((self.env.now, target, reason))
 
     def _flip(self, target: DeployMode) -> None:
         self.mode = target
         self.mode_timeline.append((self.env.now, target))
+        self._timeline_times.append(self.env.now)
         self.last_switch_time = self.env.now
         self.switching = False
 
@@ -135,7 +172,17 @@ class HybridExecutionEngine:
                 n_cap=self.serverless.n_max(self.spec.name),
             )
             ack = self.serverless.prewarm(self.spec.name, n)
-            yield ack  # S_pw acknowledged: containers are warm
+            # S_pw: wait for the warm acknowledgement, but only up to the
+            # deadline — a lost or straggling ack aborts the switch
+            # instead of wedging it (the containers, if they did warm,
+            # simply idle out under keep-alive)
+            deadline = self.env.timeout(self.config.switch_ack_timeout)
+            yield self.env.any_of([ack, deadline])
+            if not ack.processed:
+                self._abort_switch(DeployMode.SERVERLESS, "prewarm ack deadline")
+                return
+            if not deadline.processed:
+                deadline.cancel()
         else:
             yield self.env.timeout(0.0)  # NoP: flip immediately
         self._flip(DeployMode.SERVERLESS)
@@ -144,23 +191,66 @@ class HybridExecutionEngine:
             self._drain_event = self.iaas.undeploy()
 
     def _switch_to_iaas(self) -> Iterator[Event]:
-        # a rapid flip-back can catch the previous rental still draining
+        # a rapid flip-back can catch the previous rental still draining;
+        # a watchdog bounds how long the stuck drain can hold the switch
         if self.iaas.state is ServiceState.DRAINING and self._drain_event is not None:
-            yield self._drain_event
-        ready = self.iaas.deploy()
-        yield ready  # VMs booted: safe to flip
+            drained = self._drain_event
+            watchdog = self.env.timeout(self.config.drain_timeout)
+            yield self.env.any_of([drained, watchdog])
+            if not drained.processed:
+                self.drain_force_releases += 1
+                self.iaas.force_release()
+            elif not watchdog.processed:
+                watchdog.cancel()
+            self._drain_event = None
+        if self.iaas.state is ServiceState.RUNNING:
+            # an earlier aborted switch-out already paid for this boot
+            self._flip(DeployMode.IAAS)
+            return
+        if self.iaas.state is ServiceState.BOOTING and self.iaas.boot_ready is not None:
+            ready = self.iaas.boot_ready  # re-join an in-flight boot
+        else:
+            ready = self.iaas.deploy()
+        # wait for the boot up to the deadline; a failed boot (ready
+        # fails with VMBootFailed) is thrown into this generator and
+        # handled by the guard
+        deadline = self.env.timeout(self.config.switch_boot_timeout)
+        yield self.env.any_of([ready, deadline])
+        if not ready.processed:
+            # the boot straggled past the deadline: abort now, and leave
+            # a reaper behind to undeploy the rental if the boot lands
+            # after nobody wants it anymore
+            self.env.process(self._boot_reaper(ready))
+            self._abort_switch(DeployMode.IAAS, "vm boot deadline")
+            return
+        if not deadline.processed:
+            deadline.cancel()
         self._flip(DeployMode.IAAS)
         # serverless containers idle out via the pool's keep-alive
+
+    def _boot_reaper(self, ready: Event) -> Iterator[Event]:
+        """Clean up after an abandoned boot wait.
+
+        If the boot eventually succeeds while the service is still routed
+        to serverless (and no new switch is in flight to claim the VMs),
+        the rental would bill forever unused — undeploy it.  If the boot
+        fails, swallow the failure (the service already rolled itself
+        back to STOPPED).
+        """
+        try:
+            yield ready
+        except Exception:
+            return
+        if self.mode is DeployMode.IAAS or self.switching:
+            return
+        if self.iaas.state is ServiceState.RUNNING:
+            self._drain_event = self.iaas.undeploy()
 
     # -- observability -------------------------------------------------------------
     def mode_at(self, t: float) -> DeployMode:
         """Deploy mode that was active at time ``t`` (for the timelines)."""
-        mode = self.mode_timeline[0][1]
-        for ts, m in self.mode_timeline:
-            if ts > t:
-                break
-            mode = m
-        return mode
+        idx = bisect_right(self._timeline_times, t) - 1
+        return self.mode_timeline[max(idx, 0)][1]
 
     def serverless_time_fraction(self, t_end: float) -> float:
         """Fraction of [0, t_end] spent in serverless mode."""

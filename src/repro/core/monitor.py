@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.config import AmoebaConfig
 from repro.core.meters import AXIS_METERS, METER_SPECS, MeterProfile, profile_meter
 from repro.core.surfaces import SurfaceSet
+from repro.faults.injector import FaultInjector
 from repro.serverless.platform import ServerlessPlatform
 from repro.sim.environment import Environment
 from repro.sim.events import Event
@@ -123,11 +124,13 @@ class ContentionMonitor:
         config: AmoebaConfig,
         rng: RngRegistry,
         profiles: Optional[Dict[str, MeterProfile]] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.env = env
         self.platform = platform
         self.config = config
         self.rng = rng
+        self.faults = faults
         self.profiles: Dict[str, MeterProfile] = (
             profiles
             if profiles is not None
@@ -142,6 +145,7 @@ class ContentionMonitor:
         self._services: Dict[str, _ServiceCalibration] = {}
         self._qid = itertools.count()
         self._started = False
+        self._started_at = 0.0
 
     # -- meter scheduling -------------------------------------------------------
     def start(self) -> None:
@@ -149,6 +153,7 @@ class ContentionMonitor:
         if self._started:
             raise RuntimeError("monitor already started")
         self._started = True
+        self._started_at = self.env.now
         period = 1.0 / self.config.meter_qps
         for i, name in enumerate(AXIS_METERS):
             metrics = ServiceMetrics(name, METER_SPECS[name].qos_target)
@@ -162,11 +167,39 @@ class ContentionMonitor:
     def _daemon(self, name: str, offset: float, period: float) -> Iterator[Event]:
         yield self.env.timeout(offset)
         while True:
+            if self.faults is not None:
+                outage = self.faults.meter_outage(name)
+                if outage > 0.0:
+                    # the meter goes completely silent for the outage;
+                    # the controller's stale-telemetry safe mode is what
+                    # keeps decisions sane while it lasts
+                    yield self.env.timeout(outage)
+                    continue
+                if self.faults.meter_sample_dropped(name):
+                    yield self.env.timeout(period)
+                    continue
             q = Query(
                 qid=next(self._qid), service=name, t_submit=self.env.now, canary=True
             )
             self.platform.invoke(q)
             yield self.env.timeout(period)
+
+    def telemetry_age(self, now: float) -> float:
+        """Seconds since the *stalest* meter last completed a sample.
+
+        Meters that have not reported yet age from the monitor's start
+        time.  Returns 0.0 before :meth:`start` (no meters registered ⇒
+        no staleness to speak of).
+        """
+        if not self._meter_metrics:
+            return 0.0
+        ages = []
+        for metrics in self._meter_metrics.values():
+            last = metrics.last_canary_time
+            if last is None:
+                last = self._started_at
+            ages.append(max(now - last, 0.0))
+        return max(ages)
 
     def meter_cpu_overhead(self) -> float:
         """Mean fraction of node cores the meters consume (§VII-E check)."""

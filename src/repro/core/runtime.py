@@ -34,6 +34,8 @@ from repro.core.monitor import ContentionMonitor
 from repro.core.mu_model import predicted_latency
 from repro.core.queueing import qos_satisfied
 from repro.core.surfaces import SurfaceSet, build_surface_set
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.iaas.service import IaaSService
 from repro.iaas.sizing import size_service
 from repro.iaas.vm import VMFlavor
@@ -86,6 +88,7 @@ class AmoebaRuntime:
         contention: Optional[ContentionConfig] = None,
         flavor: Optional[VMFlavor] = None,
         env: Optional[Environment] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.env = env if env is not None else Environment()
         self.rng = RngRegistry(seed=seed)
@@ -93,14 +96,21 @@ class AmoebaRuntime:
         self.cluster = cluster if cluster is not None else CLUSTER_TABLE_II
         self.contention = contention if contention is not None else ContentionConfig()
         self.flavor = flavor if flavor is not None else VMFlavor()
+        # a zero-rate plan makes zero draws (the injector's determinism
+        # contract), so wiring the injector in is behaviourally inert
+        # until a rate is actually raised above zero
+        self.faults = FaultInjector(faults, self.rng) if faults is not None else None
         self.serverless = ServerlessPlatform(
             self.env,
             self.rng,
             node=self.cluster.serverless_node,
             config=serverless_config,
             contention=self.contention,
+            faults=self.faults,
         )
-        self.monitor = ContentionMonitor(self.env, self.serverless, self.config, self.rng)
+        self.monitor = ContentionMonitor(
+            self.env, self.serverless, self.config, self.rng, faults=self.faults
+        )
         self.monitor.start()
         self.services: Dict[str, ManagedService] = {}
         self.background: Dict[str, BackgroundService] = {}
@@ -143,7 +153,13 @@ class AmoebaRuntime:
             spec, trace.peak_rate, flavor=self.flavor, contention=self.contention
         )
         iaas = IaaSService(
-            self.env, spec, sizing, self.rng, metrics=metrics, contention=self.contention
+            self.env,
+            spec,
+            sizing,
+            self.rng,
+            metrics=metrics,
+            contention=self.contention,
+            faults=self.faults,
         )
         if initial_mode is DeployMode.IAAS:
             iaas.deploy(instant=True)

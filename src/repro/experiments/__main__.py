@@ -26,6 +26,12 @@ def _portfolio(**kw):
 
     return portfolio_figure(**kw)
 
+
+def _chaos(**kw):
+    from repro.experiments.chaos import chaos_sweep
+
+    return chaos_sweep(**kw)
+
 #: target name -> (callable, accepts day/seed kwargs)
 TARGETS = {
     "table2": (lambda **kw: F.table2_setup(), False),
@@ -49,6 +55,7 @@ TARGETS = {
     "abl-period": (A.ablate_sample_period, True),
     "abl-discriminant": (A.ablate_discriminant, True),
     "abl-keepalive": (A.ablate_keep_alive, True),
+    "chaos": (_chaos, True),
 }
 
 

@@ -1,0 +1,97 @@
+"""The chaos scenario: fault-rate sweep and QoS-violation deltas.
+
+Runs the standard §VII scenario with the :data:`DEFAULT_CHAOS_PLAN`
+scaled across a range of factors (0 = no faults) and reports, per scale:
+
+* how many faults the injector actually fired, per class;
+* the runtime's degradation-policy responses (retries, dropped queries,
+  aborted switches, force-released drains, safe-mode periods);
+* the foreground's QoS violation fraction — plain and counting dropped
+  queries — and its *delta* against the zero-fault run of the same seed.
+
+The zero-fault column doubles as the determinism gate: with every rate
+at zero the injector makes no RNG draws, so that run is bit-identical to
+a run with no fault layer at all (asserted by the chaos tests and the
+``scripts/check.sh`` quick tier).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import RunResult, run_amoeba
+from repro.faults.plan import FaultPlan
+from repro.experiments.scenarios import chaos_scenario
+
+__all__ = ["chaos_sweep"]
+
+#: default fault-scale sweep: off, half, nominal, double
+DEFAULT_SCALES: Tuple[float, ...] = (0.0, 0.5, 1.0, 2.0)
+
+
+def _fg_violations(result: RunResult, name: str) -> Tuple[float, float]:
+    metrics = result.services[name].metrics
+    return metrics.violation_fraction, metrics.violation_fraction_with_failures
+
+
+def chaos_sweep(
+    name: str = "matmul",
+    day: float = 3600.0,
+    seed: int = 0,
+    scales: Sequence[float] = DEFAULT_SCALES,
+    plan: Optional[FaultPlan] = None,
+) -> FigureResult:
+    """Sweep fault-plan scales; report fault counts and QoS deltas."""
+    if not scales:
+        raise ValueError("need at least one fault scale")
+    rows = []
+    runs = {}
+    baseline: Optional[Tuple[float, float]] = None
+    for scale in scales:
+        scenario = chaos_scenario(name, fault_scale=scale, plan=plan, day=day, seed=seed)
+        result = run_amoeba(scenario)
+        runs[scale] = result
+        viol, viol_with_drops = _fg_violations(result, scenario.foreground.name)
+        if baseline is None:
+            baseline = (viol, viol_with_drops)
+        fs = result.faults
+        assert fs is not None  # chaos scenarios always attach a plan
+        rows.append(
+            [
+                scale,
+                fs.total_injected,
+                fs.query_retries,
+                fs.queries_dropped,
+                len(fs.switch_aborts),
+                fs.switches_completed,
+                fs.drain_force_releases,
+                fs.safe_mode_periods,
+                viol,
+                viol_with_drops,
+                viol_with_drops - baseline[1],
+            ]
+        )
+    return FigureResult(
+        figure="chaos",
+        title=f"fault sweep on {name!r} (seed {seed}, day {day:g}s)",
+        headers=[
+            "scale",
+            "injected",
+            "retries",
+            "dropped",
+            "aborted_sw",
+            "switches",
+            "forced_drains",
+            "safe_periods",
+            "viol_frac",
+            "viol_w_drops",
+            "delta_vs_0",
+        ],
+        rows=rows,
+        notes=(
+            "delta_vs_0 = QoS violation fraction (drops counted as violations) "
+            "minus the zero-fault run's; scale 0 is the determinism baseline."
+        ),
+        extras={"runs": runs},
+    )

@@ -11,8 +11,8 @@
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Callable, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,11 +29,40 @@ from repro.workloads.loadgen import LoadGenerator
 from repro.workloads.traces import ConstantTrace
 
 __all__ = [
+    "FaultSummary",
     "latency_cdf",
     "peak_load_iaas",
     "peak_load_search",
     "peak_load_serverless",
 ]
+
+
+@dataclass(frozen=True)
+class FaultSummary:
+    """Fault-layer outcome of one run (all zero on a fault-free run).
+
+    ``injected`` is the raw :class:`~repro.faults.injector.FaultStats`
+    counter dict; the rest are the degradation-policy responses the
+    chaos report reads: how often the runtime retried, aborted, force-
+    released or fell back to safe mode instead of wedging.
+    """
+
+    #: raw injection counters (FaultStats.as_dict())
+    injected: Dict[str, int] = field(default_factory=dict)
+    #: every primary injection (retries/drops are consequences)
+    total_injected: int = 0
+    #: crash-retry resubmissions across all services
+    query_retries: int = 0
+    #: queries dropped after exhausting their retry budget
+    queries_dropped: int = 0
+    #: (time, target mode value, reason) for every aborted switch
+    switch_aborts: Tuple[Tuple[float, str, str], ...] = ()
+    #: switches that actually flipped the route
+    switches_completed: int = 0
+    #: stuck drains the engine watchdog force-released
+    drain_force_releases: int = 0
+    #: controller periods spent in stale-telemetry safe mode
+    safe_mode_periods: int = 0
 
 
 def latency_cdf(

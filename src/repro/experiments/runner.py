@@ -31,6 +31,7 @@ from repro.telemetry import ServiceMetrics
 from repro.workloads.ambient import AmbientTenants
 from repro.workloads.functionbench import MicroserviceSpec
 from repro.workloads.loadgen import LoadGenerator
+from repro.experiments.metrics import FaultSummary
 from repro.experiments.scenarios import Scenario
 
 __all__ = ["RunResult", "ServiceResult", "run_amoeba", "run_nameko", "run_openwhisk"]
@@ -109,6 +110,8 @@ class RunResult:
     meter_overhead: float = 0.0
     #: per-meter mean CPU overhead (fraction of the node), Amoeba only
     meter_overheads: Dict[str, float] = field(default_factory=dict)
+    #: fault-layer outcome, Amoeba only (None when no plan was attached)
+    faults: Optional[FaultSummary] = None
 
     def foreground(self, scenario: Scenario) -> ServiceResult:
         """The scenario's foreground service result."""
@@ -142,7 +145,11 @@ def run_amoeba(
             config = config.variant_nop()
         elif variant != "full":
             raise ValueError(f"unknown variant {variant!r}")
-    rt = AmoebaRuntime(seed=seed if seed is not None else scenario.seed, config=config)
+    rt = AmoebaRuntime(
+        seed=seed if seed is not None else scenario.seed,
+        config=config,
+        faults=scenario.faults,
+    )
     if scenario.ambient:
         AmbientTenants(rt.env, rt.serverless.machine, dict(scenario.ambient), rt.rng)
     for spec, trace, limit in scenario.background:
@@ -186,12 +193,28 @@ def run_amoeba(
             cpu_timelines=[cpu],
             mem_timelines=[mem],
         )
+    fault_summary: Optional[FaultSummary] = None
+    if rt.faults is not None:
+        stats = rt.faults.stats
+        fault_summary = FaultSummary(
+            injected=stats.as_dict(),
+            total_injected=stats.total_injected,
+            query_retries=stats.query_retries,
+            queries_dropped=stats.queries_dropped,
+            switch_aborts=tuple(
+                (t, m.value, reason) for t, m, reason in fg.engine.switch_aborts
+            ),
+            switches_completed=len(fg.engine.mode_timeline) - 1,
+            drain_force_releases=fg.engine.drain_force_releases,
+            safe_mode_periods=fg.controller.safe_mode_periods,
+        )
     return RunResult(
         system=f"amoeba-{variant}" if variant != "full" else "amoeba",
         duration=scenario.duration,
         services=services,
         meter_overhead=rt.meter_overhead(),
         meter_overheads=rt.monitor.meter_overheads(),
+        faults=fault_summary,
     )
 
 

@@ -29,6 +29,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.meters import expected_platform_overhead
 from repro.core.queueing import max_arrival_rate
+from repro.faults.plan import FaultPlan
 from repro.serverless.config import ServerlessConfig
 from repro.workloads.functionbench import benchmark, benchmark_names
 from repro.workloads.functionbench import MicroserviceSpec
@@ -37,12 +38,14 @@ from repro.workloads.traces import DiurnalTrace, Trace
 __all__ = [
     "AMBIENT_PEAKS",
     "BACKGROUND_PEAKS",
+    "DEFAULT_CHAOS_PLAN",
     "DEFAULT_DAY",
     "PEAK_RATES",
     "SERVERLESS_FRACTIONS",
     "Scenario",
     "ambient_pressure_traces",
     "background_services",
+    "chaos_scenario",
     "concurrency_threshold",
     "default_scenario",
 ]
@@ -175,6 +178,9 @@ class Scenario:
     seed: int
     #: per-axis ambient-pressure traces for the shared node's other tenants
     ambient: Tuple[Tuple[str, Trace], ...] = ()
+    #: fault-injection plan; None disables the fault layer entirely (a
+    #: zero-rate plan is behaviourally identical — see repro.faults)
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -221,3 +227,38 @@ def default_scenario(
         seed=seed,
         ambient=ambient,
     )
+
+
+#: the reference fault mix of the chaos scenario: every fault class
+#: active at a "bad day on the platform" rate.  The chaos sweep scales
+#: this whole plan by a factor (0 = the provably-inert zero plan).
+DEFAULT_CHAOS_PLAN = FaultPlan(
+    cold_start_failure_prob=0.05,
+    container_crash_prob=0.01,
+    vm_boot_failure_prob=0.10,
+    vm_boot_delay_prob=0.10,
+    meter_drop_prob=0.02,
+    meter_outage_prob=0.002,
+    prewarm_ack_loss_prob=0.15,
+    prewarm_ack_delay_prob=0.15,
+)
+
+
+def chaos_scenario(
+    name: str = "matmul",
+    fault_scale: float = 1.0,
+    plan: Optional[FaultPlan] = None,
+    day: float = DEFAULT_DAY,
+    duration: Optional[float] = None,
+    seed: int = 0,
+    cfg: Optional[ServerlessConfig] = None,
+) -> Scenario:
+    """The standard scenario with a scaled fault plan attached.
+
+    ``fault_scale=0`` produces the zero plan, which the determinism gate
+    asserts is bit-identical to running with no fault layer at all;
+    larger scales sweep the fault pressure for the QoS-delta report.
+    """
+    base = plan if plan is not None else DEFAULT_CHAOS_PLAN
+    scenario = default_scenario(name, day=day, duration=duration, seed=seed, cfg=cfg)
+    return replace(scenario, faults=base.scaled(fault_scale))

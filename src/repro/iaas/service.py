@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.cluster.accounting import UsageLedger
 from repro.cluster.resource_model import ContentionConfig, MachineModel
+from repro.faults.injector import FaultInjector, VMBootFailed
 from repro.iaas.sizing import RPC_OVERHEAD, SizingResult
 from repro.sim.environment import Environment
 from repro.sim.events import Event
@@ -53,12 +54,14 @@ class IaaSService:
         metrics: Optional[ServiceMetrics] = None,
         ledger: Optional[UsageLedger] = None,
         contention: Optional[ContentionConfig] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         self.env = env
         self.spec = spec
         self.sizing = sizing
         self.rng = rng
         self.metrics = metrics
+        self.faults = faults
         self.ledger = ledger if ledger is not None else UsageLedger(env, f"iaas/{spec.name}")
         flavor = sizing.flavor
         k = sizing.vm_count
@@ -74,6 +77,10 @@ class IaaSService:
         self.in_flight = 0
         self.completions = 0
         self._drained: Optional[Event] = None
+        #: the pending deploy() ready event while BOOTING — lets a caller
+        #: that aborted its own wait re-join an in-progress boot instead
+        #: of raising on a second deploy()
+        self.boot_ready: Optional[Event] = None
 
     # -- lifecycle -----------------------------------------------------------
     def deploy(self, instant: bool = False) -> Event:
@@ -87,6 +94,7 @@ class IaaSService:
             raise RuntimeError(f"deploy() in state {self.state}")
         self.state = ServiceState.BOOTING
         ready = self.env.event()
+        self.boot_ready = ready
         if instant:
             self._finish_boot(ready)
         else:
@@ -95,14 +103,34 @@ class IaaSService:
 
     def _boot(self, ready: Event):
         flavor = self.sizing.flavor
-        boot = self.rng.lognormal_around(
-            f"vmboot/{self.spec.name}", flavor.boot_median, flavor.boot_sigma
-        )
-        yield self.env.timeout(boot)
+        name = self.spec.name
+        attempts = 0
+        while True:
+            boot = self.rng.lognormal_around(
+                f"vmboot/{name}", flavor.boot_median, flavor.boot_sigma
+            )
+            if self.faults is not None:
+                # a straggling hypervisor stretches this attempt
+                boot += self.faults.vm_boot_delay(name)
+            yield self.env.timeout(boot)
+            if self.faults is None or not self.faults.vm_boot_fails(name):
+                break
+            plan = self.faults.plan
+            if attempts < plan.max_boot_retries:
+                attempts += 1
+                yield self.env.timeout(plan.boot_retry_backoff_s * attempts)
+                continue
+            # give up: roll the deploy back so a later deploy() can work
+            self.faults.stats.vm_boots_abandoned += 1
+            self.state = ServiceState.STOPPED
+            self.boot_ready = None
+            ready.fail(VMBootFailed(f"{name}: boot failed after {attempts + 1} attempts"))
+            return
         self._finish_boot(ready)
 
     def _finish_boot(self, ready: Event) -> None:
         self.state = ServiceState.RUNNING
+        self.boot_ready = None
         self.ledger.acquire(self.sizing.rented_cores, self.sizing.rented_memory_mb)
         ready.succeed()
 
@@ -126,6 +154,26 @@ class IaaSService:
             if self._drained is not None:
                 self._drained.succeed()
                 self._drained = None
+
+    def force_release(self) -> None:
+        """Release a DRAINING rental now, stuck in-flight work or not.
+
+        The engine's drain watchdog calls this when a drain exceeds its
+        deadline: the rental cost stops accruing and the drain event
+        fires so a waiting switch-out can proceed.  Queries still in
+        flight finish on the (already-freed) machine model; their late
+        ``_maybe_release`` calls are no-ops because the state has left
+        DRAINING.  No-op unless currently DRAINING.
+        """
+        if self.state is not ServiceState.DRAINING:
+            return
+        self.state = ServiceState.STOPPED
+        self.ledger.release(self.sizing.rented_cores, self.sizing.rented_memory_mb)
+        if self._drained is not None:
+            drained = self._drained
+            self._drained = None
+            if not drained.triggered:
+                drained.succeed()
 
     # -- serving ----------------------------------------------------------------
     def invoke(self, query: Query) -> None:

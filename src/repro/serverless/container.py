@@ -8,6 +8,9 @@ States:
 ``IDLE``          warm, waiting for work; reaped after ``keep_alive``
 ``BUSY``          executing one invocation
 ``DEAD``          reaped (memory returned to the pool)
+``CRASHED``       died mid-query under fault injection (terminal, like
+                  DEAD; memory already returned — the query it carried
+                  is retried or dropped by the pool's fault policy)
 
 The pool drives transitions; the container only owns its identity,
 timestamps and a handle on its pending keep-alive reap event so the pool
@@ -36,6 +39,7 @@ class ContainerState(enum.Enum):
     IDLE = "idle"
     BUSY = "busy"
     DEAD = "dead"
+    CRASHED = "crashed"
 
 
 class Container:

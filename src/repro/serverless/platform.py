@@ -15,6 +15,7 @@ from typing import Optional
 from repro.cluster.accounting import UsageLedger
 from repro.cluster.resource_model import ContentionConfig, MachineModel
 from repro.cluster.spec import NodeSpec
+from repro.faults.injector import FaultInjector
 from repro.serverless.config import ServerlessConfig
 from repro.serverless.frontend import Frontend
 from repro.serverless.pool import ContainerPool, FunctionState
@@ -38,9 +39,11 @@ class ServerlessPlatform:
         node: Optional[NodeSpec] = None,
         config: Optional[ServerlessConfig] = None,
         contention: Optional[ContentionConfig] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.env = env
         self.rng = rng
+        self.faults = faults
         self.node = node if node is not None else NodeSpec(name="serverless")
         self.config = config if config is not None else ServerlessConfig()
         if self.config.pool_memory_mb > self.node.memory_mb:
@@ -52,7 +55,7 @@ class ServerlessPlatform:
             net_mbps=self.node.net_mbps,
             config=contention,
         )
-        self.pool = ContainerPool(env, self.machine, self.config, rng)
+        self.pool = ContainerPool(env, self.machine, self.config, rng, faults=faults)
         self.frontend = Frontend(env, self.pool, self.config, rng)
 
     # -- registration / invocation ------------------------------------------
@@ -75,8 +78,16 @@ class ServerlessPlatform:
 
     # -- Amoeba control surface ------------------------------------------------
     def prewarm(self, name: str, count: int) -> Event:
-        """Warm ``count`` containers; event fires on ack (paper §V-B)."""
-        return self.pool.prewarm(name, count)
+        """Warm ``count`` containers; event fires on ack (paper §V-B).
+
+        Under fault injection the *acknowledgement path* can fail even
+        when the warming itself succeeds: the returned event may fire
+        late or never, and the engine's ack deadline is what recovers.
+        """
+        ack = self.pool.prewarm(name, count)
+        if self.faults is not None:
+            ack = self.faults.filter_prewarm_ack(name, ack, self.env)
+        return ack
 
     def n_max(self, name: str) -> int:
         """Paper §IV-A container cap for ``name``."""

@@ -22,6 +22,7 @@ from typing import Callable, Deque, Dict, Iterator, Optional, Tuple
 
 from repro.cluster.accounting import UsageLedger
 from repro.cluster.resource_model import DemandVector, MachineModel, SensitivityVector
+from repro.faults.injector import FaultInjector
 from repro.serverless.config import ServerlessConfig
 from repro.serverless.container import Container, ContainerState
 from repro.sim.environment import Environment
@@ -84,11 +85,13 @@ class ContainerPool:
         machine: MachineModel,
         config: ServerlessConfig,
         rng: RngRegistry,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.env = env
         self.machine = machine
         self.config = config
         self.rng = rng
+        self.faults = faults
         self._functions: Dict[str, FunctionState] = {}
         self._container_memory_in_use = 0.0
 
@@ -184,18 +187,42 @@ class ContainerPool:
 
     def _cold_start(self, fs: FunctionState, container: Container, ready: Event) -> Iterator[Event]:
         cfg = self.config
-        boot = self.rng.lognormal_around(
-            f"coldstart/{fs.spec.name}", cfg.cold_start_median, cfg.cold_start_sigma
-        )
-        yield self.env.timeout(boot)
-        # code/image pull contends for disk bandwidth
-        pull_work = fs.spec.code_mb / cfg.cold_load_mbps
-        pull = self.machine.execute(
-            pull_work,
-            DemandVector(cpu=0.2, io_mbps=cfg.cold_load_mbps),
-            _COLD_PULL_SENS,
-        )
-        yield pull
+        attempts = 0
+        while True:
+            boot = self.rng.lognormal_around(
+                f"coldstart/{fs.spec.name}", cfg.cold_start_median, cfg.cold_start_sigma
+            )
+            yield self.env.timeout(boot)
+            # code/image pull contends for disk bandwidth
+            pull_work = fs.spec.code_mb / cfg.cold_load_mbps
+            pull = self.machine.execute(
+                pull_work,
+                DemandVector(cpu=0.2, io_mbps=cfg.cold_load_mbps),
+                _COLD_PULL_SENS,
+            )
+            yield pull
+            if self.faults is None or not self.faults.cold_start_fails(fs.spec.name):
+                break
+            plan = self.faults.plan
+            if attempts < plan.max_cold_start_retries:
+                # the runtime crashed during boot: relaunch in place (the
+                # pledge — memory, ledger, n_init — stays held), with a
+                # deterministic linear backoff
+                attempts += 1
+                yield self.env.timeout(plan.cold_start_retry_backoff_s * attempts)
+                continue
+            # retry budget exhausted: abandon the pledge.  The oldest
+            # pending ready event resolves with None (so prewarm AllOfs
+            # still fire) and the pump re-plans for any backlog that was
+            # counting on this container.
+            self.faults.stats.cold_starts_abandoned += 1
+            fs.n_init -= 1
+            self._retire(fs, container)
+            container.state = ContainerState.CRASHED
+            if fs._ready_events:
+                fs._ready_events.popleft().succeed(None)
+            self._pump(fs)
+            return
         fs.n_init -= 1
         container.state = ContainerState.IDLE
         container.warm_since = self.env.now
@@ -279,6 +306,17 @@ class ContainerPool:
         # per-query (warm) code/data loading
         load_t = (spec.code_mb / cfg.warm_load_mbps) * fs._warm_draw()
 
+        if self.faults is not None and self.faults.container_crashes(spec.name):
+            # the container dies during the load stage; the crash is
+            # noticed crash_detect_s later and the query re-enters the
+            # queue (or is dropped once its retry budget is spent)
+            Callback(
+                env,
+                load_t + self.faults.plan.crash_detect_s,
+                lambda: self._crash(fs, container, query),
+            )
+            return
+
         def start_exec() -> None:
             # contended execution
             work = fs._exec_draw()
@@ -294,6 +332,29 @@ class ContainerPool:
             Callback(env, post_t, lambda: self._complete(fs, container, query, load_t, done._value, post_t))
 
         Callback(env, load_t, start_exec)
+
+    def _crash(self, fs: FunctionState, container: Container, query: Query) -> None:
+        """A container died mid-query: retire it, retry or drop the query."""
+        assert self.faults is not None
+        plan = self.faults.plan
+        fs.n_busy -= 1
+        self._retire(fs, container)
+        container.state = ContainerState.CRASHED
+        query.attempts += 1
+        if query.attempts <= plan.max_query_retries:
+            self.faults.stats.query_retries += 1
+            if fs.metrics is not None:
+                fs.metrics.record_retry()
+            backoff = plan.retry_backoff_s * query.attempts
+            self.env.schedule_callback(max(backoff, 1e-6), lambda: self.submit(query))
+        else:
+            self.faults.stats.queries_dropped += 1
+            query.failed = True
+            query.t_complete = self.env.now
+            query.served_by = "serverless"
+            if fs.metrics is not None:
+                fs.metrics.record_failure(query)
+        self._pump(fs)
 
     def _complete(
         self,

@@ -88,6 +88,12 @@ class ServiceMetrics:
         #: recent user-query latencies (controller feedback while the
         #: service itself runs on the serverless platform)
         self.recent: Deque[float] = deque(maxlen=128)
+        #: sim time of the latest canary completion (stale-telemetry basis)
+        self.last_canary_time: Optional[float] = None
+        #: crash-retry resubmissions of this service's queries
+        self.retries = 0
+        #: queries dropped after exhausting their retry budget
+        self.failed = 0
 
     def record_arrival(self, t: float, canary: bool = False) -> None:
         """Register a query submission (canaries excluded from load)."""
@@ -109,6 +115,7 @@ class ServiceMetrics:
         processing = lat - query.breakdown.get("cold", 0.0) - query.breakdown.get("queue", 0.0)
         if query.canary:
             self.canary_latencies.append(processing)
+            self.last_canary_time = query.t_complete
             return
         self.completed += 1
         self.recent.append(processing)
@@ -123,10 +130,31 @@ class ServiceMetrics:
         if query.served_by:
             self.served_by[query.served_by] = self.served_by.get(query.served_by, 0) + 1
 
+    def record_retry(self) -> None:
+        """Count one crash-retry resubmission (fault injection)."""
+        self.retries += 1
+
+    def record_failure(self, query: Query) -> None:
+        """Count a query dropped after exhausting its retry budget.
+
+        Dropped queries never reach :meth:`record_completion`; they are
+        tallied separately so the latency ledgers stay comparable with
+        fault-free runs, and folded back in by
+        :attr:`violation_fraction_with_failures` (a drop is the
+        worst-possible QoS outcome).
+        """
+        self.failed += 1
+
     @property
     def violation_fraction(self) -> float:
         """Fraction of completed user queries over the QoS target."""
         return self.violations / self.completed if self.completed else 0.0
+
+    @property
+    def violation_fraction_with_failures(self) -> float:
+        """QoS violation fraction counting dropped queries as violations."""
+        total = self.completed + self.failed
+        return (self.violations + self.failed) / total if total else 0.0
 
     @property
     def p95_estimate(self) -> float:

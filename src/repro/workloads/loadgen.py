@@ -39,6 +39,10 @@ class Query:
     served_by: Optional[str] = None
     #: True for Amoeba's shadow/canary duplicates (excluded from user QoS)
     canary: bool = False
+    #: crash-retry resubmissions consumed so far (fault injection)
+    attempts: int = 0
+    #: True once the retry budget is spent and the query is dropped
+    failed: bool = False
 
     @property
     def latency(self) -> float:

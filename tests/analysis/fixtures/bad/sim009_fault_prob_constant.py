@@ -1,0 +1,10 @@
+"""BAD: fault probability as a module constant in control flow (SIM009)."""
+
+CRASH_PROB = 0.01
+ACK_LOSS_RATE: float = 0.15
+
+
+def maybe_crash(draw: float) -> bool:
+    if draw < CRASH_PROB:
+        return True
+    return draw < ACK_LOSS_RATE

@@ -25,11 +25,13 @@ BAD_FIXTURES = {
     "SIM006": FIXTURES / "bad" / "sim006_bare_except.py",
     "SIM007": FIXTURES / "bad" / "sim007_unfrozen_config.py",
     "SIM008": FIXTURES / "bad" / "sim" / "sim008_missing_annotation.py",
+    "SIM009": FIXTURES / "bad" / "sim009_fault_prob_constant.py",
 }
 
 GOOD_FIXTURES = [
     FIXTURES / "good" / "clean_module.py",
     FIXTURES / "good" / "justified_ignores.py",
+    FIXTURES / "good" / "fault_plan_probs.py",
     FIXTURES / "allowed" / "experiments" / "__main__.py",
     FIXTURES / "allowed" / "sim" / "rng.py",
 ]
@@ -106,6 +108,31 @@ def test_import_aliases_are_resolved():
     )
     rule_ids = sorted(v.rule_id for v in lint_source(source, "mod.py"))
     assert rule_ids == ["SIM001", "SIM002"]
+
+
+def test_fault_prob_on_plan_field_is_not_flagged():
+    source = (
+        "from dataclasses import dataclass\n"
+        "\n"
+        "\n"
+        "@dataclass(frozen=True)\n"
+        "class Plan:\n"
+        "    crash_prob: float = 0.01\n"
+        "\n"
+        "\n"
+        "def gate(plan: Plan, draw: float) -> bool:\n"
+        "    return draw < plan.crash_prob\n"
+    )
+    assert lint_source(source, "mod.py") == []
+
+
+def test_local_fault_prob_binding_is_not_flagged():
+    source = (
+        "def gate(plan, draw: float) -> bool:\n"
+        "    crash_prob = plan.crash_prob\n"
+        "    return draw < crash_prob\n"
+    )
+    assert lint_source(source, "mod.py") == []
 
 
 def test_time_comparison_against_string_is_not_flagged():

@@ -1,10 +1,13 @@
 """The contention-aware deployment controller."""
 
+import math
+
 import pytest
 
 from repro.core.config import AmoebaConfig
 from repro.core.engine import DeployMode
 from repro.core.runtime import AmoebaRuntime
+from repro.faults import FaultPlan
 from repro.workloads.functionbench import benchmark
 from repro.workloads.traces import ConstantTrace, StepTrace
 
@@ -107,6 +110,46 @@ class TestGuard:
         # a reasonable switch is safe; an absurd projected load is not
         assert rt.switch_in_is_safe("float", load=1.0, service_time=0.1)
         assert not rt.switch_in_is_safe("float", load=5000.0, service_time=1.0)
+
+
+class TestSafeMode:
+    STALE_CFG = AmoebaConfig(
+        min_sample_period=10.0,
+        max_sample_period=10.0,
+        min_dwell=30.0,
+        telemetry_stale_periods=2.0,
+    )
+
+    def test_dark_meters_pin_iaas(self):
+        # every meter loop iteration starts an effectively-infinite
+        # outage, so telemetry is stale from the first staleness budget on
+        plan = FaultPlan(meter_outage_prob=1.0, meter_outage_duration_s=1e6)
+        rt = AmoebaRuntime(seed=7, config=self.STALE_CFG, faults=plan)
+        svc = rt.add_service(benchmark("float"), ConstantTrace(3.0), limit=6)
+        rt.run(until=300.0)
+        # the same load/config without the outage switches to serverless
+        # (TestDecisionLoop); with dark meters the service stays pinned
+        assert svc.engine.mode is DeployMode.IAAS
+        assert svc.controller.safe_mode_periods > 0
+        safes = [d for d in svc.controller.decisions if d.safe_mode]
+        assert safes
+        assert all(d.lambda_max == 0.0 for d in safes)
+        assert all(math.isnan(d.mu) for d in safes)
+
+    def test_late_outage_switches_back_out_of_serverless(self):
+        # wire an inert (zero-rate) injector, then script a total meter
+        # blackout once the service has already switched to serverless
+        rt = AmoebaRuntime(seed=7, config=self.STALE_CFG, faults=FaultPlan())
+        svc = rt.add_service(benchmark("float"), ConstantTrace(3.0), limit=6)
+        rt.run(until=300.0)
+        assert svc.engine.mode is DeployMode.SERVERLESS  # healthy so far
+        assert svc.controller.safe_mode_periods == 0
+        assert rt.faults is not None
+        rt.faults.meter_outage = lambda meter: 1e6
+        rt.run(until=600.0)
+        assert svc.engine.mode is DeployMode.IAAS
+        safes = [d for d in svc.controller.decisions if d.safe_mode]
+        assert any(d.switched and d.switch_target is DeployMode.IAAS for d in safes)
 
 
 class TestNaiveDiscriminant:

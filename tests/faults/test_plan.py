@@ -1,0 +1,66 @@
+"""FaultPlan: validation, scaling, the provably-inert zero plan."""
+
+from dataclasses import FrozenInstanceError
+
+import pytest
+
+from repro.faults import FaultPlan
+
+
+class TestValidation:
+    def test_defaults_are_inert(self):
+        assert not FaultPlan().any_faults
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(container_crash_prob=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(vm_boot_failure_prob=-0.1)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(vm_boot_delay_s=-1.0)
+
+    def test_negative_retry_budget_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(max_query_retries=-1)
+
+    def test_plan_is_frozen(self):
+        with pytest.raises(FrozenInstanceError):
+            FaultPlan().container_crash_prob = 0.5  # type: ignore[misc]
+
+
+class TestScaling:
+    def test_scaled_multiplies_probabilities(self):
+        plan = FaultPlan(container_crash_prob=0.2, meter_drop_prob=0.1)
+        half = plan.scaled(0.5)
+        assert half.container_crash_prob == pytest.approx(0.1)
+        assert half.meter_drop_prob == pytest.approx(0.05)
+
+    def test_scaled_clamps_to_one(self):
+        doubled = FaultPlan(prewarm_ack_loss_prob=0.6).scaled(3.0)
+        assert doubled.prewarm_ack_loss_prob == 1.0
+
+    def test_scaled_zero_is_inert(self):
+        plan = FaultPlan(container_crash_prob=0.5, vm_boot_failure_prob=0.5)
+        assert not plan.scaled(0.0).any_faults
+
+    def test_scaled_leaves_degradation_policy_unchanged(self):
+        plan = FaultPlan(
+            container_crash_prob=0.5, max_query_retries=7, retry_backoff_s=1.5
+        )
+        doubled = plan.scaled(2.0)
+        assert doubled.max_query_retries == 7
+        assert doubled.retry_backoff_s == 1.5
+        assert doubled.container_crash_prob == 1.0
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().scaled(-1.0)
+
+
+def test_describe_lists_only_active_rates():
+    assert FaultPlan().describe() == "faults(none)"
+    text = FaultPlan(container_crash_prob=0.25).describe()
+    assert "container_crash_prob=0.25" in text
+    assert "vm_boot" not in text
