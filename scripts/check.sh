@@ -2,17 +2,23 @@
 # The single development gate: every PR must pass this locally and in CI.
 #
 #   1. simlint  — the repo's own AST linter for sim-kernel invariants
-#                 (SIM001..SIM009, see DESIGN.md §7).  Always runs; pure
+#                 (SIM001..SIM010, see DESIGN.md §7).  Always runs; pure
 #                 stdlib, so there is no environment where it can't.
 #   2. mypy     — strict typing on repro.sim / repro.core /
-#                 repro.serverless (config in pyproject.toml).  Skipped
-#                 with a warning when mypy is not installed.
+#                 repro.serverless / repro.overload (config in
+#                 pyproject.toml).  Skipped with a warning when mypy is
+#                 not installed.
 #   3. ruff     — baseline style layer (config in pyproject.toml).
 #                 Skipped with a warning when ruff is not installed.
 #   4. chaos    — zero-fault determinism gate: a chaos scenario with all
 #                 fault rates scaled to zero must be float.hex-identical
 #                 to a run with no fault layer at all (DESIGN.md §8).
-#   5. pytest   — the quick test tier (slow end-to-end benches excluded;
+#   5. overload — two gates on the overload layer (DESIGN.md §9): a
+#                 disabled OverloadPolicy must be float.hex-identical to
+#                 a run with no overload layer at all, and an enabled
+#                 policy under 2.5x offered load + faults must shed,
+#                 hold admitted p95 inside QoS, and finish (no wedge).
+#   6. pytest   — the quick test tier (slow end-to-end benches excluded;
 #                 run `pytest` with no -m filter for the full tier).
 #
 # Usage: scripts/check.sh
@@ -53,6 +59,47 @@ def hexes(result):
 if hexes(zero) != hexes(plain):
     raise SystemExit("zero-fault chaos run diverged from the no-fault-layer baseline")
 print("zero-fault chaos run is bit-identical to the baseline")
+EOF
+
+echo "== overload: disabled policy is bit-identical + enabled policy protects =="
+python - <<'EOF'
+from dataclasses import replace
+
+from repro.experiments.runner import run_amoeba
+from repro.experiments.scenarios import default_scenario, overload_scenario
+from repro.overload import OverloadPolicy
+
+def hexes(result):
+    return [x.hex() for x in result.services["matmul"].metrics.latencies.values()]
+
+base = default_scenario("matmul", day=600.0, seed=0)
+plain = run_amoeba(base)
+wired = run_amoeba(replace(base, overload=OverloadPolicy.disabled()))
+assert wired.overload is not None and not wired.overload.policy_enabled
+assert wired.overload.total_rejections == 0
+if hexes(wired) != hexes(plain):
+    raise SystemExit("disabled-policy run diverged from the no-overload-layer baseline")
+print("disabled-policy run is bit-identical to the baseline")
+
+policy = OverloadPolicy()
+stormy = run_amoeba(
+    overload_scenario("matmul", lambda_factor=2.5, policy=policy, day=600.0, seed=0)
+)
+m = stormy.services["matmul"].metrics
+ov = stormy.overload
+assert ov is not None and ov.policy_enabled
+assert sum(ov.drops.values()) > 0, "expected the overload policy to shed something"
+assert m.completed > 0, "expected surviving goodput under overload"
+p95 = m.exact_percentile(95)
+if p95 > m.qos_target:
+    raise SystemExit(f"admitted p95 {p95:.3f}s exceeds QoS {m.qos_target:g}s under overload")
+assert ov.peak_queue_depth_serverless <= policy.max_queue_depth
+assert ov.peak_queue_depth_iaas <= policy.max_queue_depth
+print(
+    f"overload smoke: p95 {p95:.3f}s <= QoS {m.qos_target:g}s, "
+    f"drops {ov.drops}, breaker {ov.breaker_state} "
+    f"(opens {ov.breaker_trips + ov.breaker_reopens})"
+)
 EOF
 
 echo "== pytest: quick tier =="

@@ -99,7 +99,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Check simulation-kernel invariants (SIM001..SIM008).",
+        description="Check simulation-kernel invariants (SIM001..SIM010).",
     )
     parser.add_argument("paths", nargs="*", type=Path, help="files or directories to lint")
     parser.add_argument(

@@ -92,6 +92,15 @@ RULES: Tuple[Rule, ...] = (
         "compared in control flow cannot be swept, scaled to zero, or "
         "reproduced from the root seed",
     ),
+    Rule(
+        "SIM010",
+        "unbounded queue in platform code (serverless/ or iaas/)",
+        "overload protection (repro.overload) assumes every request queue "
+        "is depth-bounded; a bare deque()/list backlog grows without limit "
+        "under lambda >> capacity, wedging open-loop runs — pass maxlen=, "
+        "enforce an explicit bound at enqueue, or justify with "
+        "'# simlint: ignore[SIM010]'",
+    ),
 )
 
 RULE_IDS: Set[str] = {rule.id for rule in RULES}
@@ -150,6 +159,13 @@ _MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray", "defaultdict", "deque"
 #: path segments that mark kernel packages for SIM008
 _ANNOTATED_PACKAGES = {"core", "sim"}
 
+#: path segments marking platform packages whose queues must be bounded
+#: (SIM010) — these are exactly the layers the overload policy guards
+_BOUNDED_QUEUE_PACKAGES = {"serverless", "iaas"}
+
+#: binding names that denote a request queue/backlog (SIM010)
+_QUEUE_NAME_RE = re.compile(r"(?i)^\w*(queue|backlog|pending|waiting)\w*$")
+
 #: names that look like a fault-injection probability/rate (SIM009);
 #: matched against module-level constant bindings only — FaultPlan
 #: *fields* (class scope) are the sanctioned home for these numbers
@@ -199,6 +215,7 @@ class InvariantVisitor(ast.NodeVisitor):
         self._wall_clock_exempt = _path_matches(path, _WALL_CLOCK_ALLOWED)
         self._rng_exempt = _path_matches(path, _RNG_ALLOWED)
         self._annotations_apply = bool(_ANNOTATED_PACKAGES & _path_segments(path))
+        self._queue_bounds_apply = bool(_BOUNDED_QUEUE_PACKAGES & _path_segments(path))
         #: stack of per-function {name -> cancel line} maps for SIM004
         self._cancelled_stack: List[Dict[str, int]] = []
         self._function_depth = 0
@@ -316,12 +333,61 @@ class InvariantVisitor(ast.NodeVisitor):
                     del cancelled[name]
         for target in node.targets:
             self._record_fault_prob_const(target, node.value)
+            self._check_unbounded_queue(target, node.value, node)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         if node.value is not None:
             self._record_fault_prob_const(node.target, node.value)
+            self._check_unbounded_queue(node.target, node.value, node)
         self.generic_visit(node)
+
+    # -- SIM010 (unbounded platform queues) --------------------------------
+    def _check_unbounded_queue(self, target: ast.AST, value: ast.AST, node: ast.AST) -> None:
+        """Flag ``queue = deque()`` / ``backlog = []`` in serverless|iaas."""
+        if not self._queue_bounds_apply:
+            return
+        name = _terminal_name(target)
+        if name is None or not _QUEUE_NAME_RE.match(name):
+            return
+        if self._is_unbounded_queue_value(value):
+            self._report(
+                node,
+                "SIM010",
+                f"'{name}' binds an unbounded queue; platform backlogs must be "
+                "depth-bounded (deque(maxlen=...), or an explicit bound enforced "
+                "at enqueue with a '# simlint: ignore[SIM010]' justification) so "
+                "open-loop overload cannot grow state without limit",
+            )
+
+    def _is_unbounded_queue_value(self, value: ast.AST) -> bool:
+        if isinstance(value, (ast.List, ast.ListComp)):
+            return True
+        if not isinstance(value, ast.Call):
+            return False
+        callee = _terminal_name(value.func)
+        if callee == "list":
+            return True
+        if callee == "deque":
+            return not self._deque_is_bounded(value)
+        if callee == "field":
+            for kw in value.keywords:
+                if kw.arg == "default_factory":
+                    factory = kw.value
+                    if _terminal_name(factory) in ("deque", "list"):
+                        return True
+                    if isinstance(factory, ast.Lambda):
+                        return self._is_unbounded_queue_value(factory.body)
+        return False
+
+    @staticmethod
+    def _deque_is_bounded(call: ast.Call) -> bool:
+        if len(call.args) >= 2:  # deque(iterable, maxlen)
+            return True
+        for kw in call.keywords:
+            if kw.arg == "maxlen":
+                return not (isinstance(kw.value, ast.Constant) and kw.value.value is None)
+        return False
 
     # -- SIM009 (fault probabilities as module constants) ------------------
     def _record_fault_prob_const(self, target: ast.AST, value: ast.AST) -> None:

@@ -58,6 +58,10 @@ class ControllerDecision:
     #: controller pinned the conservative IaaS mode instead of trusting
     #: an outdated pressure vector)
     safe_mode: bool = False
+    #: True when the overload breaker held the service in brownout at
+    #: decision time — switch requests are suppressed by the engine until
+    #: the breaker half-opens
+    brownout: bool = False
 
 
 class DeploymentController:
@@ -85,6 +89,8 @@ class DeploymentController:
         self.decisions: List[ControllerDecision] = []
         #: decision periods spent in stale-telemetry safe mode
         self.safe_mode_periods = 0
+        #: decision periods spent under a breaker-forced brownout
+        self.brownout_periods = 0
         # Eq. 8: the sample period must absorb one accidental cold start
         platform_cfg = engine.serverless.config
         t_min = sample_period(
@@ -108,6 +114,11 @@ class DeploymentController:
             now = self.env.now
             metrics = self.engine.metrics
             load = metrics.load.rate(now)
+            # an OPEN breaker pins the current mode (engine.can_switch);
+            # log it so brownout windows are visible in the decision trace
+            brownout = self.engine.in_brownout()
+            if brownout:
+                self.brownout_periods += 1
 
             # stale-telemetry safe mode: meters silent past the staleness
             # budget make the pressure vector fiction — pin the
@@ -132,6 +143,7 @@ class DeploymentController:
                         weights=(float("nan"), float("nan"), float("nan")),
                         pressures=(float("nan"), float("nan"), float("nan")),
                         safe_mode=True,
+                        brownout=brownout,
                     )
                 )
                 continue
@@ -190,6 +202,7 @@ class DeploymentController:
                     guard_blocked=guard_blocked,
                     weights=est.weights,
                     pressures=self.monitor.pressure(),
+                    brownout=brownout,
                 )
             )
 

@@ -33,6 +33,7 @@ from typing import Iterator, List, Optional, Tuple
 from repro.core.config import AmoebaConfig
 from repro.core.prewarm import prewarm_count
 from repro.iaas.service import IaaSService, ServiceState
+from repro.overload.governor import OverloadGovernor
 from repro.serverless.platform import ServerlessPlatform
 from repro.sim.environment import Environment
 from repro.sim.events import Event
@@ -64,6 +65,7 @@ class HybridExecutionEngine:
         config: AmoebaConfig,
         rng: RngRegistry,
         initial_mode: DeployMode = DeployMode.IAAS,
+        overload: Optional[OverloadGovernor] = None,
     ) -> None:
         self.env = env
         self.spec = spec
@@ -72,6 +74,7 @@ class HybridExecutionEngine:
         self.metrics = metrics
         self.config = config
         self.rng = rng
+        self.overload = overload
         self.mode = initial_mode
         self.switching = False
         self.last_switch_time = -float("inf")
@@ -111,11 +114,22 @@ class HybridExecutionEngine:
 
     # -- switching --------------------------------------------------------------
     def can_switch(self) -> bool:
-        """True when a new switch may be requested (dwell + not mid-switch)."""
+        """True when a new switch may be requested.
+
+        Requires: not mid-switch, the minimum dwell has elapsed, and the
+        service is not in a breaker-forced brownout (an OPEN breaker pins
+        the current mode — flapping deployments while already shedding
+        only adds switch-protocol latency to a drowning service).
+        """
         return (
             not self.switching
             and (self.env.now - self.last_switch_time) >= self.config.min_dwell
+            and not self.in_brownout()
         )
+
+    def in_brownout(self) -> bool:
+        """True while the overload breaker holds this service browned out."""
+        return self.overload is not None and self.overload.brownout(self.env.now)
 
     def request_switch(self, target: DeployMode, load: float) -> bool:
         """Ask for a deploy-mode switch; returns False if refused.
@@ -155,6 +169,10 @@ class HybridExecutionEngine:
         self.switching = False
         self.last_switch_time = self.env.now  # full dwell before retrying
         self.switch_aborts.append((self.env.now, target, reason))
+        if self.overload is not None:
+            # an aborted leg is weighted breaker evidence: a service that
+            # keeps failing to switch under load is headed for a brownout
+            self.overload.note_switch_abort(self.env.now)
 
     def _flip(self, target: DeployMode) -> None:
         self.mode = target
@@ -165,8 +183,15 @@ class HybridExecutionEngine:
 
     def _switch_to_serverless(self, load: float) -> Iterator[Event]:
         if self.config.prewarm:
+            demand = load
+            if self.overload is not None and self.overload.policy.enabled:
+                # Eq. 7 sizes for measured load, but under shedding the
+                # measured load is the *survivors*; provision for the
+                # traffic being dropped too, or the switch-in inherits
+                # the same overload that caused the shedding
+                demand += self.overload.shed_rate(self.env.now)
             n = prewarm_count(
-                load,
+                demand,
                 self.spec.qos_target,
                 headroom=self.config.prewarm_headroom,
                 n_cap=self.serverless.n_max(self.spec.name),

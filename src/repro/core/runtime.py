@@ -30,6 +30,7 @@ from repro.cluster.spec import CLUSTER_TABLE_II, ClusterSpec
 from repro.core.config import AmoebaConfig
 from repro.core.controller import DeploymentController
 from repro.core.engine import DeployMode, HybridExecutionEngine
+from repro.core.meters import expected_platform_overhead
 from repro.core.monitor import ContentionMonitor
 from repro.core.mu_model import predicted_latency
 from repro.core.queueing import qos_satisfied
@@ -37,7 +38,9 @@ from repro.core.surfaces import SurfaceSet, build_surface_set
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.iaas.service import IaaSService
-from repro.iaas.sizing import size_service
+from repro.iaas.sizing import RPC_OVERHEAD, size_service
+from repro.overload.governor import OverloadGovernor
+from repro.overload.policy import OverloadPolicy
 from repro.iaas.vm import VMFlavor
 from repro.serverless.config import ServerlessConfig
 from repro.serverless.platform import ServerlessPlatform
@@ -63,6 +66,7 @@ class ManagedService:
     controller: DeploymentController
     surfaces: SurfaceSet
     loadgen: LoadGenerator
+    overload: Optional[OverloadGovernor] = None
 
 
 @dataclass
@@ -74,6 +78,7 @@ class BackgroundService:
     metrics: ServiceMetrics
     surfaces: SurfaceSet
     loadgen: LoadGenerator
+    overload: Optional[OverloadGovernor] = None
 
 
 class AmoebaRuntime:
@@ -89,6 +94,7 @@ class AmoebaRuntime:
         flavor: Optional[VMFlavor] = None,
         env: Optional[Environment] = None,
         faults: Optional[FaultPlan] = None,
+        overload: Optional[OverloadPolicy] = None,
     ) -> None:
         self.env = env if env is not None else Environment()
         self.rng = RngRegistry(seed=seed)
@@ -100,6 +106,10 @@ class AmoebaRuntime:
         # contract), so wiring the injector in is behaviourally inert
         # until a rate is actually raised above zero
         self.faults = FaultInjector(faults, self.rng) if faults is not None else None
+        # like the zero fault plan, a disabled policy's governors make
+        # every decision a no-op, so wiring them in is behaviourally
+        # inert (the check.sh bit-identity gate holds us to that)
+        self.overload_policy = overload
         self.serverless = ServerlessPlatform(
             self.env,
             self.rng,
@@ -131,6 +141,24 @@ class AmoebaRuntime:
             load_points=cfg.surface_load_points,
         )
 
+    def _make_governor(self, spec: MicroserviceSpec) -> Optional[OverloadGovernor]:
+        """One shared overload governor per microservice (both platforms).
+
+        The admission model's service rates come from the same sources
+        the controller's μ reasoning uses: mean exec time plus the
+        platform overhead α on serverless (Eq. 6), exec time plus the
+        RPC dispatch overhead on IaaS.
+        """
+        if self.overload_policy is None:
+            return None
+        alpha = expected_platform_overhead(spec, self.serverless.config)
+        return OverloadGovernor(
+            self.overload_policy,
+            qos_target=spec.qos_target,
+            mu_serverless=1.0 / (spec.exec_time + alpha),
+            mu_iaas=1.0 / (spec.exec_time + RPC_OVERHEAD),
+        )
+
     def add_service(
         self,
         spec: MicroserviceSpec,
@@ -138,20 +166,27 @@ class AmoebaRuntime:
         initial_mode: DeployMode = DeployMode.IAAS,
         guard_enabled: bool = True,
         limit: Optional[int] = None,
+        sizing_rate: Optional[float] = None,
     ) -> ManagedService:
         """Put one microservice under Amoeba management.
 
         The IaaS side is sized just-enough for ``trace.peak_rate`` (the
         paper's §III setup: the maintainer supplies a configuration that
         can serve the peak).  The default starting mode is IaaS, as in
-        §III step 1.
+        §III step 1.  ``sizing_rate`` overrides the rate the rental is
+        sized for — overload scenarios size for the *nominal* peak while
+        driving the trace past it, so the excess is genuinely excess.
         """
         if spec.name in self.services or spec.name in self.background:
             raise ValueError(f"service {spec.name!r} already added")
         metrics = ServiceMetrics(spec.name, spec.qos_target)
         sizing = size_service(
-            spec, trace.peak_rate, flavor=self.flavor, contention=self.contention
+            spec,
+            sizing_rate if sizing_rate is not None else trace.peak_rate,
+            flavor=self.flavor,
+            contention=self.contention,
         )
+        governor = self._make_governor(spec)
         iaas = IaaSService(
             self.env,
             spec,
@@ -160,6 +195,7 @@ class AmoebaRuntime:
             metrics=metrics,
             contention=self.contention,
             faults=self.faults,
+            overload=governor,
         )
         if initial_mode is DeployMode.IAAS:
             iaas.deploy(instant=True)
@@ -167,7 +203,9 @@ class AmoebaRuntime:
         # what keeps containers warm for later queries (§V-A) — so the
         # NoP variant cold starts every invocation
         keep_alive = None if self.config.prewarm else 0.0
-        self.serverless.register(spec, metrics=metrics, limit=limit, keep_alive=keep_alive)
+        self.serverless.register(
+            spec, metrics=metrics, limit=limit, keep_alive=keep_alive, overload=governor
+        )
         # profile the surfaces out to twice the service's design peak —
         # that is the whole load range the controller will ever query
         surfaces = self._build_surfaces(spec, load_max=2.0 * trace.peak_rate)
@@ -181,6 +219,7 @@ class AmoebaRuntime:
             self.config,
             self.rng,
             initial_mode=initial_mode,
+            overload=governor,
         )
         guard = self._make_guard(spec.name) if guard_enabled else None
         controller = DeploymentController(
@@ -196,6 +235,7 @@ class AmoebaRuntime:
             controller=controller,
             surfaces=surfaces,
             loadgen=loadgen,
+            overload=governor,
         )
         self.services[spec.name] = managed
         return managed
@@ -207,12 +247,18 @@ class AmoebaRuntime:
         if spec.name in self.services or spec.name in self.background:
             raise ValueError(f"service {spec.name!r} already added")
         metrics = ServiceMetrics(spec.name, spec.qos_target)
-        self.serverless.register(spec, metrics=metrics, limit=limit)
+        governor = self._make_governor(spec)
+        self.serverless.register(spec, metrics=metrics, limit=limit, overload=governor)
         surfaces = self._build_surfaces(spec, load_max=2.0 * trace.peak_rate)
         self.monitor.register_service(spec.name, surfaces)
         loadgen = LoadGenerator(self.env, spec.name, trace, self.serverless.invoke, self.rng)
         bg = BackgroundService(
-            spec=spec, trace=trace, metrics=metrics, surfaces=surfaces, loadgen=loadgen
+            spec=spec,
+            trace=trace,
+            metrics=metrics,
+            surfaces=surfaces,
+            loadgen=loadgen,
+            overload=governor,
         )
         self.background[spec.name] = bg
         return bg

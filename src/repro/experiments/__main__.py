@@ -32,6 +32,12 @@ def _chaos(**kw):
 
     return chaos_sweep(**kw)
 
+
+def _overload(**kw):
+    from repro.experiments.overload import overload_sweep
+
+    return overload_sweep(**kw)
+
 #: target name -> (callable, accepts day/seed kwargs)
 TARGETS = {
     "table2": (lambda **kw: F.table2_setup(), False),
@@ -56,6 +62,7 @@ TARGETS = {
     "abl-discriminant": (A.ablate_discriminant, True),
     "abl-keepalive": (A.ablate_keep_alive, True),
     "chaos": (_chaos, True),
+    "overload": (_overload, True),
 }
 
 

@@ -57,12 +57,16 @@ def chaos_sweep(
             baseline = (viol, viol_with_drops)
         fs = result.faults
         assert fs is not None  # chaos scenarios always attach a plan
+        # the unified dropped{reason} family: chaos runs have no overload
+        # layer, so every foreground drop must carry reason "crash"
+        fg_drops = result.services[scenario.foreground.name].metrics.drops
         rows.append(
             [
                 scale,
                 fs.total_injected,
                 fs.query_retries,
                 fs.queries_dropped,
+                fg_drops["crash"],
                 len(fs.switch_aborts),
                 fs.switches_completed,
                 fs.drain_force_releases,
@@ -80,6 +84,7 @@ def chaos_sweep(
             "injected",
             "retries",
             "dropped",
+            "fg_crash_drops",
             "aborted_sw",
             "switches",
             "forced_drains",

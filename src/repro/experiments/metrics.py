@@ -30,6 +30,7 @@ from repro.workloads.traces import ConstantTrace
 
 __all__ = [
     "FaultSummary",
+    "OverloadSummary",
     "latency_cdf",
     "peak_load_iaas",
     "peak_load_search",
@@ -63,6 +64,42 @@ class FaultSummary:
     drain_force_releases: int = 0
     #: controller periods spent in stale-telemetry safe mode
     safe_mode_periods: int = 0
+
+
+@dataclass(frozen=True)
+class OverloadSummary:
+    """Overload-layer outcome of one run (foreground service).
+
+    Present on a :class:`~repro.experiments.runner.RunResult` whenever a
+    policy — even a disabled one — was attached to the scenario.  The
+    ``drops`` dict is the unified ``dropped{reason}`` counter family from
+    :class:`~repro.telemetry.ServiceMetrics`; the breaker fields expose
+    the trip/half-open/close lifecycle for the telemetry-visibility
+    acceptance check.
+    """
+
+    #: whether the attached policy was actually enabled
+    policy_enabled: bool = False
+    #: foreground drops by reason (crash/admission/shed/breaker)
+    drops: Dict[str, int] = field(default_factory=dict)
+    #: governor-side rejections by reason, both platforms combined
+    rejections: Dict[str, int] = field(default_factory=dict)
+    #: queries the frontend/dispatch rejected + queues shed (foreground)
+    total_rejections: int = 0
+    #: breaker lifecycle counters
+    breaker_trips: int = 0
+    breaker_reopens: int = 0
+    breaker_half_opens: int = 0
+    breaker_closes: int = 0
+    #: terminal breaker state value ("closed"/"open"/"half_open"/"disabled")
+    breaker_state: str = "disabled"
+    #: every breaker edge as (time, new state value)
+    breaker_transitions: Tuple[Tuple[float, str], ...] = ()
+    #: exact queue-depth high-water marks (foreground, per platform)
+    peak_queue_depth_serverless: int = 0
+    peak_queue_depth_iaas: int = 0
+    #: controller periods spent under brownout (foreground)
+    brownout_periods: int = 0
 
 
 def latency_cdf(

@@ -1,0 +1,130 @@
+"""The overload scenario: shed-rate vs. p95 sweep with and without policy.
+
+Runs :func:`~repro.experiments.scenarios.overload_scenario` — the
+standard §VII setup driven to ``factor`` times the nominal peak with the
+chaos fault mix on — twice per factor: once with the overload layer
+disabled (the unprotected baseline) and once with the policy enabled.
+Per factor the report shows offered/completed counts, the unified
+``dropped{reason}`` split, both runs' admitted-query p95 against the QoS
+target, the exact queue-depth high-water marks and the breaker
+lifecycle — i.e. everything the overload acceptance criteria ask to see.
+
+CLI: ``python -m repro.experiments overload [--day D --seed S]``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import RunResult, run_amoeba
+from repro.experiments.scenarios import overload_scenario
+from repro.overload import OverloadPolicy
+
+__all__ = ["overload_sweep"]
+
+#: default offered-load sweep, as multiples of the nominal peak rate:
+#: at-capacity, the acceptance point (2x), and a deep overload
+DEFAULT_FACTORS: Tuple[float, ...] = (1.0, 2.0, 3.0)
+
+
+def _fg_p95(result: RunResult, name: str) -> float:
+    return result.services[name].metrics.exact_percentile(95)
+
+
+def overload_sweep(
+    name: str = "matmul",
+    day: float = 1800.0,
+    seed: int = 0,
+    factors: Sequence[float] = DEFAULT_FACTORS,
+    policy: Optional[OverloadPolicy] = None,
+    fault_scale: float = 1.0,
+) -> FigureResult:
+    """Sweep offered-load factors; report shed rate vs. admitted p95."""
+    if not factors:
+        raise ValueError("need at least one load factor")
+    policy = policy if policy is not None else OverloadPolicy()
+    qos = None
+    rows = []
+    runs = {}
+    for factor in factors:
+        off = run_amoeba(
+            overload_scenario(
+                name,
+                lambda_factor=factor,
+                policy=OverloadPolicy.disabled(),
+                fault_scale=fault_scale,
+                day=day,
+                seed=seed,
+            )
+        )
+        on = run_amoeba(
+            overload_scenario(
+                name,
+                lambda_factor=factor,
+                policy=policy,
+                fault_scale=fault_scale,
+                day=day,
+                seed=seed,
+            )
+        )
+        runs[factor] = {"off": off, "on": on}
+        m_on = on.services[name].metrics
+        qos = m_on.qos_target
+        ov = on.overload
+        assert ov is not None and ov.policy_enabled
+        offered = m_on.completed + m_on.failed
+        shed_frac = m_on.failed / offered if offered else 0.0
+        rows.append(
+            [
+                factor,
+                offered,
+                m_on.completed,
+                ov.drops.get("crash", 0),
+                ov.drops.get("admission", 0),
+                ov.drops.get("shed", 0),
+                ov.drops.get("breaker", 0),
+                shed_frac,
+                _fg_p95(off, name),
+                _fg_p95(on, name),
+                off.services[name].metrics.violation_fraction,
+                m_on.violation_fraction,
+                ov.peak_queue_depth_serverless,
+                ov.peak_queue_depth_iaas,
+                ov.breaker_trips + ov.breaker_reopens,
+                ov.breaker_state,
+            ]
+        )
+    return FigureResult(
+        figure="overload",
+        title=(
+            f"overload sweep on {name!r} "
+            f"(seed {seed}, day {day:g}s, QoS {qos:g}s, faults x{fault_scale:g})"
+        ),
+        headers=[
+            "factor",
+            "offered",
+            "completed",
+            "d_crash",
+            "d_admit",
+            "d_shed",
+            "d_breaker",
+            "shed_frac",
+            "p95_off",
+            "p95_on",
+            "viol_off",
+            "viol_on",
+            "peakQ_sls",
+            "peakQ_iaas",
+            "br_opens",
+            "br_state",
+        ],
+        rows=rows,
+        notes=(
+            "p95/viol are over admitted (completed) queries; *_off is the "
+            "disabled-policy baseline at the same factor and seed.  d_* is "
+            "the unified dropped{reason} family; peakQ_* the exact "
+            "queue-depth high-water mark per platform."
+        ),
+        extras={"runs": runs, "policy": policy},
+    )

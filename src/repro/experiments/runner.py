@@ -31,7 +31,7 @@ from repro.telemetry import ServiceMetrics
 from repro.workloads.ambient import AmbientTenants
 from repro.workloads.functionbench import MicroserviceSpec
 from repro.workloads.loadgen import LoadGenerator
-from repro.experiments.metrics import FaultSummary
+from repro.experiments.metrics import FaultSummary, OverloadSummary
 from repro.experiments.scenarios import Scenario
 
 __all__ = ["RunResult", "ServiceResult", "run_amoeba", "run_nameko", "run_openwhisk"]
@@ -61,6 +61,9 @@ class ServiceResult:
     serverless_invocations: int = 0
     serverless_busy_seconds: float = 0.0
     container_memory_mb: float = 256.0
+    #: decimated (t, depth) queue-depth timelines, one pair per platform
+    #: that queued this service (pool FIFO and/or IaaS worker queue)
+    queue_depth_timelines: List[Tuple[np.ndarray, np.ndarray]] = field(default_factory=list)
 
     def cost(self, pricing: Optional["PricingModel"] = None) -> "CostBreakdown":
         """Maintainer-side bill for this service under this system."""
@@ -112,6 +115,8 @@ class RunResult:
     meter_overheads: Dict[str, float] = field(default_factory=dict)
     #: fault-layer outcome, Amoeba only (None when no plan was attached)
     faults: Optional[FaultSummary] = None
+    #: overload-layer outcome, Amoeba only (None when no policy attached)
+    overload: Optional[OverloadSummary] = None
 
     def foreground(self, scenario: Scenario) -> ServiceResult:
         """The scenario's foreground service result."""
@@ -149,6 +154,7 @@ def run_amoeba(
         seed=seed if seed is not None else scenario.seed,
         config=config,
         faults=scenario.faults,
+        overload=scenario.overload,
     )
     if scenario.ambient:
         AmbientTenants(rt.env, rt.serverless.machine, dict(scenario.ambient), rt.rng)
@@ -159,6 +165,7 @@ def run_amoeba(
         scenario.trace,
         guard_enabled=guard,
         limit=scenario.limit,
+        sizing_rate=scenario.iaas_peak_rate,
     )
     rt.run(until=scenario.duration)
 
@@ -182,16 +189,24 @@ def run_amoeba(
         serverless_invocations=fg_state.completions,
         serverless_busy_seconds=fg_state.busy_seconds,
         container_memory_mb=rt.serverless.config.container_memory_mb,
+        queue_depth_timelines=[
+            (fg_state.queue_depth.times(), fg_state.queue_depth.values()),
+            (fg.iaas.queue_depth.times(), fg.iaas.queue_depth.values()),
+        ],
     )
     for bg_name, bg in rt.background.items():
         ledger = rt.serverless.function_ledger(bg_name)
         cpu, mem = _ledger_timeline(ledger)
+        bg_state = rt.serverless.pool.state(bg_name)
         services[bg_name] = ServiceResult(
             spec=bg.spec,
             metrics=bg.metrics,
             usage=ledger.snapshot(),
             cpu_timelines=[cpu],
             mem_timelines=[mem],
+            queue_depth_timelines=[
+                (bg_state.queue_depth.times(), bg_state.queue_depth.values())
+            ],
         )
     fault_summary: Optional[FaultSummary] = None
     if rt.faults is not None:
@@ -208,6 +223,25 @@ def run_amoeba(
             drain_force_releases=fg.engine.drain_force_releases,
             safe_mode_periods=fg.controller.safe_mode_periods,
         )
+    overload_summary: Optional[OverloadSummary] = None
+    if fg.overload is not None:
+        gov = fg.overload
+        breaker = gov.breaker
+        overload_summary = OverloadSummary(
+            policy_enabled=gov.policy.enabled,
+            drops=dict(fg.metrics.drops),
+            rejections=dict(gov.rejections),
+            total_rejections=gov.total_rejections,
+            breaker_trips=breaker.trips if breaker is not None else 0,
+            breaker_reopens=breaker.reopens if breaker is not None else 0,
+            breaker_half_opens=breaker.half_opens if breaker is not None else 0,
+            breaker_closes=breaker.closes if breaker is not None else 0,
+            breaker_state=breaker.state.value if breaker is not None else "disabled",
+            breaker_transitions=tuple(breaker.transitions) if breaker is not None else (),
+            peak_queue_depth_serverless=fg_state.peak_queue_depth,
+            peak_queue_depth_iaas=fg.iaas.peak_queue_depth,
+            brownout_periods=fg.controller.brownout_periods,
+        )
     return RunResult(
         system=f"amoeba-{variant}" if variant != "full" else "amoeba",
         duration=scenario.duration,
@@ -215,6 +249,7 @@ def run_amoeba(
         meter_overhead=rt.meter_overhead(),
         meter_overheads=rt.monitor.meter_overheads(),
         faults=fault_summary,
+        overload=overload_summary,
     )
 
 
@@ -241,6 +276,7 @@ def run_nameko(scenario: Scenario, seed: Optional[int] = None) -> RunResult:
         cpu_timelines=[cpu],
         mem_timelines=[mem],
         usage_iaas=svc.ledger.snapshot(),
+        queue_depth_timelines=[(svc.queue_depth.times(), svc.queue_depth.values())],
     )
     return RunResult(system="nameko", duration=scenario.duration, services={spec.name: result})
 
@@ -280,5 +316,6 @@ def run_openwhisk(scenario: Scenario, seed: Optional[int] = None) -> RunResult:
             serverless_invocations=fs.completions,
             serverless_busy_seconds=fs.busy_seconds,
             container_memory_mb=platform.config.container_memory_mb,
+            queue_depth_timelines=[(fs.queue_depth.times(), fs.queue_depth.values())],
         )
     return RunResult(system="openwhisk", duration=scenario.duration, services=services)

@@ -30,6 +30,7 @@ from typing import Dict, Optional, Tuple
 from repro.core.meters import expected_platform_overhead
 from repro.core.queueing import max_arrival_rate
 from repro.faults.plan import FaultPlan
+from repro.overload.policy import OverloadPolicy
 from repro.serverless.config import ServerlessConfig
 from repro.workloads.functionbench import benchmark, benchmark_names
 from repro.workloads.functionbench import MicroserviceSpec
@@ -48,6 +49,7 @@ __all__ = [
     "chaos_scenario",
     "concurrency_threshold",
     "default_scenario",
+    "overload_scenario",
 ]
 
 #: foreground peak rates (queries/s) per benchmark — "high enough to
@@ -181,12 +183,21 @@ class Scenario:
     #: fault-injection plan; None disables the fault layer entirely (a
     #: zero-rate plan is behaviourally identical — see repro.faults)
     faults: Optional[FaultPlan] = None
+    #: overload-protection policy; None leaves the layer out entirely (a
+    #: disabled policy is behaviourally identical — see repro.overload)
+    overload: Optional[OverloadPolicy] = None
+    #: rate the IaaS rental is sized for; None = trace.peak_rate.
+    #: Overload scenarios pin this to the *nominal* peak while the trace
+    #: drives past it, so the excess load is genuinely excess.
+    iaas_peak_rate: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
             raise ValueError(f"duration must be positive, got {self.duration}")
         if self.limit < 1:
             raise ValueError(f"limit must be >= 1, got {self.limit}")
+        if self.iaas_peak_rate is not None and self.iaas_peak_rate <= 0:
+            raise ValueError(f"iaas_peak_rate must be positive, got {self.iaas_peak_rate}")
 
     def mean_ambient_pressures(self) -> Tuple[float, float, float]:
         """Time-averaged ambient pressure per axis over the run."""
@@ -262,3 +273,39 @@ def chaos_scenario(
     base = plan if plan is not None else DEFAULT_CHAOS_PLAN
     scenario = default_scenario(name, day=day, duration=duration, seed=seed, cfg=cfg)
     return replace(scenario, faults=base.scaled(fault_scale))
+
+
+def overload_scenario(
+    name: str = "matmul",
+    lambda_factor: float = 2.0,
+    policy: Optional[OverloadPolicy] = None,
+    fault_scale: float = 1.0,
+    day: float = DEFAULT_DAY,
+    duration: Optional[float] = None,
+    seed: int = 0,
+    cfg: Optional[ServerlessConfig] = None,
+) -> Scenario:
+    """The standard scenario driven past capacity, with faults on.
+
+    The foreground trace's peak is scaled to ``lambda_factor`` times the
+    nominal :data:`PEAK_RATES` entry while *both* capacity envelopes stay
+    nominal: the container limit keeps its Eq. 5-derived value and the
+    IaaS rental is sized for the nominal peak (``iaas_peak_rate``).  At
+    ``lambda_factor >= 2`` the offered load therefore exceeds either
+    platform's QoS-feasible capacity — the acceptance scenario for the
+    overload layer.  ``policy=None`` runs the unprotected baseline.
+    """
+    if lambda_factor <= 0:
+        raise ValueError(f"lambda_factor must be positive, got {lambda_factor}")
+    base = default_scenario(name, day=day, duration=duration, seed=seed, cfg=cfg)
+    nominal_peak = PEAK_RATES[name]
+    trace = DiurnalTrace(
+        peak_rate=lambda_factor * nominal_peak, seed=seed + 7, day=day, noise_sigma=0.05
+    )
+    return replace(
+        base,
+        trace=trace,
+        faults=DEFAULT_CHAOS_PLAN.scaled(fault_scale),
+        overload=policy,
+        iaas_peak_rate=nominal_peak,
+    )

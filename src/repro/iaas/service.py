@@ -22,10 +22,12 @@ from repro.cluster.accounting import UsageLedger
 from repro.cluster.resource_model import ContentionConfig, MachineModel
 from repro.faults.injector import FaultInjector, VMBootFailed
 from repro.iaas.sizing import RPC_OVERHEAD, SizingResult
+from repro.overload.governor import OverloadGovernor
 from repro.sim.environment import Environment
 from repro.sim.events import Event
 from repro.sim.resources import Resource
 from repro.sim.rng import RngRegistry
+from repro.sim.stats import TimeSeries
 from repro.telemetry import ServiceMetrics
 from repro.workloads.functionbench import MicroserviceSpec
 from repro.workloads.loadgen import Query
@@ -55,6 +57,7 @@ class IaaSService:
         ledger: Optional[UsageLedger] = None,
         contention: Optional[ContentionConfig] = None,
         faults: Optional[FaultInjector] = None,
+        overload: Optional[OverloadGovernor] = None,
     ):
         self.env = env
         self.spec = spec
@@ -62,6 +65,7 @@ class IaaSService:
         self.rng = rng
         self.metrics = metrics
         self.faults = faults
+        self.overload = overload
         self.ledger = ledger if ledger is not None else UsageLedger(env, f"iaas/{spec.name}")
         flavor = sizing.flavor
         k = sizing.vm_count
@@ -76,6 +80,13 @@ class IaaSService:
         self.state = ServiceState.STOPPED
         self.in_flight = 0
         self.completions = 0
+        #: queries rejected at dispatch / shed after queueing (overload)
+        self.rejected = 0
+        self.shed = 0
+        #: worker-queue depth observability, sampled around each request
+        self.queue_depth = TimeSeries(min_interval=1.0)
+        #: exact high-water mark (the TimeSeries decimates, this does not)
+        self.peak_queue_depth = 0
         self._drained: Optional[Event] = None
         #: the pending deploy() ready event while BOOTING — lets a caller
         #: that aborted its own wait re-join an in-progress boot instead
@@ -186,18 +197,63 @@ class IaaSService:
             raise RuntimeError(f"invoke() while {self.spec.name} is {self.state.value}")
         if self.metrics is not None:
             self.metrics.record_arrival(self.env.now, canary=query.canary)
+        gov = self.overload
+        if gov is not None:
+            reason = gov.admit_iaas(
+                queued=self.workers.queue_length,
+                busy=self.workers.count,
+                capacity=self.workers.capacity,
+                now=self.env.now,
+            )
+            if reason is not None:
+                self._drop(query, reason)
+                return
         self.in_flight += 1
         self.env.process(self._serve(query))
 
+    def _drop(self, query: Query, reason: str) -> None:
+        """Reject one arrival at dispatch (reason ``admission``/``breaker``)."""
+        self.rejected += 1
+        query.failed = True
+        query.t_complete = self.env.now
+        query.served_by = "iaas"
+        if self.metrics is not None:
+            self.metrics.record_drop(query, reason)
+        assert self.overload is not None
+        if not query.canary:
+            self.overload.note_rejection(reason, self.env.now)
+
     def _serve(self, query: Query):
         spec = self.spec
+        gov = self.overload
         # Nameko RPC dispatch overhead
         yield self.env.timeout(RPC_OVERHEAD)
         query.breakdown["proc"] = RPC_OVERHEAD
         req = self.workers.request()
         t_q = self.env.now
+        depth = self.workers.queue_length
+        self.queue_depth.record(t_q, float(depth))
+        if depth > self.peak_queue_depth:
+            self.peak_queue_depth = depth
         yield req
-        query.breakdown["queue"] = self.env.now - t_q
+        self.queue_depth.record(self.env.now, float(self.workers.queue_length))
+        wait = self.env.now - t_q
+        query.breakdown["queue"] = wait
+        if gov is not None and gov.should_shed(wait):
+            # the query's accumulated queue wait already blew its budget:
+            # free the worker slot for one that can still meet QoS
+            self.workers.release(req)
+            self.shed += 1
+            query.failed = True
+            query.t_complete = self.env.now
+            query.served_by = "iaas"
+            if self.metrics is not None:
+                self.metrics.record_drop(query, "shed")
+            if not query.canary:
+                gov.note_rejection("shed", self.env.now)
+            self.in_flight -= 1
+            self._maybe_release()
+            return
         work = self.rng.lognormal_around(f"iaas-exec/{spec.name}", spec.exec_time, spec.exec_sigma)
         exec_t = yield self.machine.execute(work, spec.demand, spec.sensitivity)
         self.workers.release(req)
@@ -206,6 +262,8 @@ class IaaSService:
         query.served_by = "iaas"
         if self.metrics is not None:
             self.metrics.record_completion(query)
+        if gov is not None and not query.canary:
+            gov.note_outcome(query.latency <= spec.qos_target, self.env.now)
         self.completions += 1
         self.in_flight -= 1
         self._maybe_release()

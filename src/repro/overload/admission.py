@@ -1,0 +1,69 @@
+"""Deadline-aware admission predictions from the M/M/N model.
+
+These are the pure functions behind "reject on arrival when the model
+predicts the enqueued query cannot meet QoS".  They are the admission
+counterpart of :mod:`repro.core.queueing`: where Eq. 4/5 reason about
+the *steady-state* wait distribution, admission must reason about the
+wait of one concrete arrival that sees ``queued`` queries ahead of it.
+
+Conditioned on the system being saturated, an arrival that finds ``k``
+queries queued waits for ``k + 1`` departures, and departures leave a
+saturated M/M/N system at rate ``n * mu`` — an Erlang(k+1, n*mu) wait
+with mean ``(k + 1) / (n * mu)``.  We use that mean as the prediction:
+deterministic, monotone in the backlog, and exact in expectation under
+the same assumptions as Eq. 4.
+"""
+
+from __future__ import annotations
+
+
+def conditional_wait(queued: int, busy: int, servers: int, mu: float) -> float:
+    """Expected queueing delay for one arrival, given the observed state.
+
+    Args:
+        queued: Queries queued ahead of the arrival (excludes in-service).
+        busy: Servers currently serving.
+        servers: Total server count ``n`` (containers the pool may run,
+            or IaaS worker slots).
+        mu: Per-server service rate (1 / mean service time).
+
+    Returns:
+        0 when a server is free and nothing is queued; otherwise the
+        Erlang mean ``(queued + 1) / (n * mu)``.
+    """
+    if servers < 1:
+        raise ValueError("servers must be >= 1")
+    if mu <= 0.0:
+        raise ValueError("mu must be > 0")
+    if queued < 0 or busy < 0:
+        raise ValueError("queued and busy must be >= 0")
+    if queued == 0 and busy < servers:
+        return 0.0
+    return (queued + 1) / (servers * mu)
+
+
+def predicted_sojourn(queued: int, busy: int, servers: int, mu: float) -> float:
+    """Predicted end-to-end latency: conditional wait plus one service."""
+    return conditional_wait(queued, busy, servers, mu) + 1.0 / mu
+
+
+def meets_deadline(
+    queued: int,
+    busy: int,
+    servers: int,
+    mu: float,
+    qos_target: float,
+    slack: float = 1.0,
+) -> bool:
+    """Would an arrival admitted now be predicted to meet its deadline?
+
+    ``slack`` scales the predicted wait (not the service time): values
+    above 1 reject earlier to absorb model optimism, values below 1
+    tolerate it.
+    """
+    if qos_target <= 0.0:
+        raise ValueError("qos_target must be > 0")
+    if slack <= 0.0:
+        raise ValueError("slack must be > 0")
+    wait = conditional_wait(queued, busy, servers, mu)
+    return slack * wait + 1.0 / mu <= qos_target

@@ -9,7 +9,7 @@ the controller's load estimate reflects offered load, not completed load.
 
 from __future__ import annotations
 
-from repro.serverless.pool import ContainerPool
+from repro.serverless.pool import ContainerPool, FunctionState
 from repro.serverless.config import ServerlessConfig
 from repro.sim.environment import Environment
 from repro.sim.rng import RngRegistry
@@ -33,6 +33,8 @@ class Frontend:
         self.config = config
         self.rng = rng
         self.accepted = 0
+        #: queries rejected at admission (overload layer)
+        self.rejected = 0
         #: per-service overhead samplers, built lazily (stream identity is
         #: name-keyed, so caching the sampler changes no draw sequence)
         self._proc_draw: dict = {}
@@ -45,10 +47,25 @@ class Frontend:
         overhead here instead of at a process bootstrap keeps the
         per-service RNG stream's draw order keyed to invoke() order, which
         is the order the bootstrap events replayed anyway.
+
+        Admission happens *before* the overhead draw, yet draw order is
+        preserved for the bit-identity gates: a disabled policy rejects
+        nothing, so the per-service stream sees the same invoke() order.
         """
         fs = self.pool.state(query.service)
         if fs.metrics is not None:
             fs.metrics.record_arrival(self.env.now, canary=query.canary)
+        gov = fs.overload
+        if gov is not None:
+            reason = gov.admit_serverless(
+                queued=len(fs.queue),
+                busy=fs.n_busy,
+                capacity=self.pool.n_max(query.service),
+                now=self.env.now,
+            )
+            if reason is not None:
+                self._reject(fs, query, reason)
+                return
         self.accepted += 1
         draw = self._proc_draw.get(query.service)
         if draw is None:
@@ -64,3 +81,15 @@ class Frontend:
             self.pool.submit(query)
 
         self.env.schedule_callback(proc, deliver)
+
+    def _reject(self, fs: FunctionState, query: Query, reason: str) -> None:
+        """Drop one arrival at the door (reason ``admission``/``breaker``)."""
+        self.rejected += 1
+        query.failed = True
+        query.t_complete = self.env.now
+        query.served_by = "serverless"
+        if fs.metrics is not None:
+            fs.metrics.record_drop(query, reason)
+        assert fs.overload is not None
+        if not query.canary:
+            fs.overload.note_rejection(reason, self.env.now)

@@ -16,6 +16,7 @@ from repro.cluster.accounting import UsageLedger
 from repro.cluster.resource_model import ContentionConfig, MachineModel
 from repro.cluster.spec import NodeSpec
 from repro.faults.injector import FaultInjector
+from repro.overload.governor import OverloadGovernor
 from repro.serverless.config import ServerlessConfig
 from repro.serverless.frontend import Frontend
 from repro.serverless.pool import ContainerPool, FunctionState
@@ -66,10 +67,16 @@ class ServerlessPlatform:
         ledger: Optional[UsageLedger] = None,
         limit: Optional[int] = None,
         keep_alive: Optional[float] = None,
+        overload: Optional[OverloadGovernor] = None,
     ) -> FunctionState:
         """Deploy a function; see :meth:`ContainerPool.register`."""
         return self.pool.register(
-            spec, metrics=metrics, ledger=ledger, limit=limit, keep_alive=keep_alive
+            spec,
+            metrics=metrics,
+            ledger=ledger,
+            limit=limit,
+            keep_alive=keep_alive,
+            overload=overload,
         )
 
     def invoke(self, query: Query) -> None:

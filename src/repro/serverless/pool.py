@@ -23,11 +23,13 @@ from typing import Callable, Deque, Dict, Iterator, Optional, Tuple
 from repro.cluster.accounting import UsageLedger
 from repro.cluster.resource_model import DemandVector, MachineModel, SensitivityVector
 from repro.faults.injector import FaultInjector
+from repro.overload.governor import OverloadGovernor
 from repro.serverless.config import ServerlessConfig
 from repro.serverless.container import Container, ContainerState
 from repro.sim.environment import Environment
 from repro.sim.events import Callback, Event
 from repro.sim.rng import RngRegistry
+from repro.sim.stats import TimeSeries
 from repro.telemetry import ServiceMetrics
 from repro.workloads.functionbench import MicroserviceSpec
 from repro.workloads.loadgen import Query
@@ -49,7 +51,10 @@ class FunctionState:
     #: idle-container lifetime; None = the pool default.  Zero disables
     #: warm reuse entirely (every query cold starts — Amoeba-NoP's world).
     keep_alive: Optional[float] = None
-    queue: Deque[Tuple[Query, float]] = field(default_factory=deque)
+    #: pending invocations.  Bounded by the overload layer at admission
+    #: when a policy is enabled; open-loop baselines deliberately measure
+    #: the unbounded backlog (tests/serverless/test_pool_overload.py).
+    queue: Deque[Tuple[Query, float]] = field(default_factory=deque)  # simlint: ignore[SIM010]
     idle: Deque[Container] = field(default_factory=deque)
     n_init: int = 0
     n_busy: int = 0
@@ -58,6 +63,12 @@ class FunctionState:
     #: total billed execution seconds (code load + execution + posting),
     #: the maintainer-side GB-second basis (see repro.cluster.pricing)
     busy_seconds: float = 0.0
+    #: shared per-microservice overload governor (None = no protection)
+    overload: Optional[OverloadGovernor] = None
+    #: queue-depth observability, sampled on every enqueue/dequeue
+    queue_depth: TimeSeries = field(default_factory=lambda: TimeSeries(min_interval=1.0))
+    #: exact high-water mark (the TimeSeries decimates, this does not)
+    peak_queue_depth: int = 0
     #: events fired when an in-flight cold start turns warm (prewarm acks)
     _ready_events: Deque[Event] = field(default_factory=deque)
     #: cached per-function RNG samplers (built at registration; stream
@@ -103,6 +114,7 @@ class ContainerPool:
         ledger: Optional[UsageLedger] = None,
         limit: Optional[int] = None,
         keep_alive: Optional[float] = None,
+        overload: Optional[OverloadGovernor] = None,
     ) -> FunctionState:
         """Make ``spec`` invocable; returns its pool state."""
         if spec.name in self._functions:
@@ -115,6 +127,7 @@ class ContainerPool:
             ledger=ledger if ledger is not None else UsageLedger(self.env, f"sls/{spec.name}"),
             limit=limit if limit is not None else self.config.concurrency_limit,
             keep_alive=keep_alive,
+            overload=overload,
         )
         fs._warm_draw = self.rng.lognormal_sampler(f"warmload/{spec.name}", 1.0, 0.15)
         fs._exec_draw = self.rng.lognormal_sampler(
@@ -153,18 +166,57 @@ class ContainerPool:
         """Enqueue one invocation (front-end overhead already paid)."""
         fs = self.state(query.service)
         fs.queue.append((query, self.env.now))
+        self._note_queue(fs)
         self._pump(fs)
 
     def _pump(self, fs: FunctionState) -> None:
         """Restore the dispatch invariant for one function."""
         # serve queued work with idle containers
         while fs.queue and fs.idle:
+            nxt = self._take(fs)
+            if nxt is None:
+                break
             container = fs.idle.popleft()
-            query, t_enq = fs.queue.popleft()
-            self._assign(fs, container, query, t_enq)
+            self._assign(fs, container, nxt[0], nxt[1])
         # pledge cold starts for backlog not already covered by warming ones
         while len(fs.queue) > fs.n_init and self._can_launch(fs):
             self._launch(fs)
+
+    def _note_queue(self, fs: FunctionState) -> None:
+        """Sample the queue depth into the observability timeline."""
+        depth = len(fs.queue)
+        fs.queue_depth.record(self.env.now, float(depth))
+        if depth > fs.peak_queue_depth:
+            fs.peak_queue_depth = depth
+
+    def _take(self, fs: FunctionState) -> Optional[Tuple[Query, float]]:
+        """Pop the next servable invocation, shedding expired ones.
+
+        Every dequeue path goes through here so the queue-wait budget is
+        enforced uniformly: a query whose accumulated wait already
+        exceeds ``overload.wait_budget`` is dead on arrival at a server
+        and is dropped (reason ``shed``) rather than occupying one.
+        """
+        gov = fs.overload
+        while fs.queue:
+            query, t_enq = fs.queue.popleft()
+            self._note_queue(fs)
+            if gov is not None and gov.should_shed(self.env.now - t_enq):
+                self._shed(fs, query, self.env.now - t_enq)
+                continue
+            return query, t_enq
+        return None
+
+    def _shed(self, fs: FunctionState, query: Query, waited: float) -> None:
+        """Drop one expired queued query."""
+        query.breakdown["queue"] = waited
+        query.failed = True
+        query.t_complete = self.env.now
+        query.served_by = "serverless"
+        if fs.metrics is not None:
+            fs.metrics.record_drop(query, "shed")
+        if fs.overload is not None and not query.canary:
+            fs.overload.note_rejection("shed", self.env.now)
 
     def _can_launch(self, fs: FunctionState) -> bool:
         cfg = self.config
@@ -228,9 +280,9 @@ class ContainerPool:
         container.warm_since = self.env.now
         if fs._ready_events:
             fs._ready_events.popleft().succeed(container.cid)
-        if fs.queue:
-            query, t_enq = fs.queue.popleft()
-            self._assign(fs, container, query, t_enq, fresh_cold=True)
+        nxt = self._take(fs)
+        if nxt is not None:
+            self._assign(fs, container, nxt[0], nxt[1], fresh_cold=True)
         else:
             self._idle(fs, container)
 
@@ -353,7 +405,9 @@ class ContainerPool:
             query.t_complete = self.env.now
             query.served_by = "serverless"
             if fs.metrics is not None:
-                fs.metrics.record_failure(query)
+                fs.metrics.record_drop(query, "crash")
+            if fs.overload is not None and not query.canary:
+                fs.overload.note_outcome(False, self.env.now)
         self._pump(fs)
 
     def _complete(
@@ -372,6 +426,8 @@ class ContainerPool:
         query.served_by = "serverless"
         if fs.metrics is not None:
             fs.metrics.record_completion(query)
+        if fs.overload is not None and not query.canary:
+            fs.overload.note_outcome(query.latency <= fs.spec.qos_target, self.env.now)
         fs.completions += 1
         fs.busy_seconds += load_t + exec_t + post_t
         container.invocations += 1
@@ -380,12 +436,13 @@ class ContainerPool:
             # no warm reuse at all (Amoeba-NoP): the container dies and
             # queued work must cold start afresh
             self._retire(fs, container)
-        elif fs.queue:
-            # reuse for queued work
-            nxt, t_enq = fs.queue.popleft()
-            self._assign(fs, container, nxt, t_enq)
         else:
-            self._idle(fs, container)
+            nxt = self._take(fs)
+            if nxt is not None:
+                # reuse for queued work
+                self._assign(fs, container, nxt[0], nxt[1])
+            else:
+                self._idle(fs, container)
         # backlog may still exceed pledged cold starts (e.g. limit freed)
         self._pump(fs)
 

@@ -15,10 +15,11 @@ from typing import Deque, Dict, Optional
 
 import numpy as np
 
+from repro.overload.policy import DROP_REASONS
 from repro.sim.stats import OnlineStats, P2Quantile, ReservoirSample
 from repro.workloads.loadgen import Query
 
-__all__ = ["LoadEstimator", "ServiceMetrics"]
+__all__ = ["DROP_REASONS", "LoadEstimator", "ServiceMetrics"]
 
 #: the latency stages platforms may report in Query.breakdown
 STAGES = ("proc", "queue", "cold", "load", "exec", "post")
@@ -92,8 +93,12 @@ class ServiceMetrics:
         self.last_canary_time: Optional[float] = None
         #: crash-retry resubmissions of this service's queries
         self.retries = 0
-        #: queries dropped after exhausting their retry budget
+        #: total dropped user queries (sum over :attr:`drops`)
         self.failed = 0
+        #: the unified ``dropped{reason}`` family: crash (retry
+        #: exhaustion), admission (rejected on arrival), shed (queue
+        #: wait blew the budget), breaker (brownout drop-tail)
+        self.drops: Dict[str, int] = {reason: 0 for reason in DROP_REASONS}
 
     def record_arrival(self, t: float, canary: bool = False) -> None:
         """Register a query submission (canaries excluded from load)."""
@@ -134,16 +139,27 @@ class ServiceMetrics:
         """Count one crash-retry resubmission (fault injection)."""
         self.retries += 1
 
-    def record_failure(self, query: Query) -> None:
-        """Count a query dropped after exhausting its retry budget.
+    def record_drop(self, query: Query, reason: str) -> None:
+        """Count one dropped user query in the ``dropped{reason}`` family.
 
         Dropped queries never reach :meth:`record_completion`; they are
         tallied separately so the latency ledgers stay comparable with
         fault-free runs, and folded back in by
         :attr:`violation_fraction_with_failures` (a drop is the
-        worst-possible QoS outcome).
+        worst-possible QoS outcome).  Canary drops are not counted —
+        shadow traffic must not pollute user-facing QoS, mirroring
+        :meth:`record_completion`.
         """
+        if reason not in self.drops:
+            raise ValueError(f"unknown drop reason {reason!r}")
+        if query.canary:
+            return
+        self.drops[reason] += 1
         self.failed += 1
+
+    def record_failure(self, query: Query) -> None:
+        """Crash-drop shorthand: a query dropped after its retry budget."""
+        self.record_drop(query, "crash")
 
     @property
     def violation_fraction(self) -> float:

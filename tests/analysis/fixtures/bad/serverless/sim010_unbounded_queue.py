@@ -1,0 +1,25 @@
+"""BAD: unbounded request queues inside a serverless/ package (SIM010).
+
+Every binding here grows without limit under open-loop overload; the
+overload layer's bounded-queue invariant requires an explicit depth
+bound (or an inline justification) on all of them.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List
+
+pending_invocations: List[int] = []
+
+
+@dataclass
+class FunctionBacklog:
+    queue: Deque[int] = field(default_factory=deque)
+    waiting: List[int] = field(default_factory=list)
+
+
+class Dispatcher:
+    def __init__(self) -> None:
+        self.backlog: Deque[int] = deque()
+        self.retry_queue = deque(maxlen=None)
+        self.pending = list()

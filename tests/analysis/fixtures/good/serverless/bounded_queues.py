@@ -1,0 +1,24 @@
+"""GOOD: platform queues that satisfy SIM010 in a serverless/ package.
+
+Bounded deques pass outright; an unbounded deque passes only with an
+inline justification naming the mechanism that enforces the bound; and
+non-queue bindings are out of scope however they are built.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Tuple
+
+
+@dataclass
+class BoundedBacklog:
+    queue: Deque[int] = field(default_factory=lambda: deque(maxlen=256))
+
+
+class Dispatcher:
+    def __init__(self, depth: int) -> None:
+        self.backlog: Deque[int] = deque(maxlen=depth)
+        self.retry_queue: Deque[int] = deque((), depth)
+        # bound enforced at enqueue by OverloadPolicy.max_queue_depth
+        self.waiting: Deque[int] = deque()  # simlint: ignore[SIM010]
+        self.samples: List[Tuple[float, int]] = []  # not a queue name

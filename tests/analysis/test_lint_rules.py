@@ -26,12 +26,14 @@ BAD_FIXTURES = {
     "SIM007": FIXTURES / "bad" / "sim007_unfrozen_config.py",
     "SIM008": FIXTURES / "bad" / "sim" / "sim008_missing_annotation.py",
     "SIM009": FIXTURES / "bad" / "sim009_fault_prob_constant.py",
+    "SIM010": FIXTURES / "bad" / "serverless" / "sim010_unbounded_queue.py",
 }
 
 GOOD_FIXTURES = [
     FIXTURES / "good" / "clean_module.py",
     FIXTURES / "good" / "justified_ignores.py",
     FIXTURES / "good" / "fault_plan_probs.py",
+    FIXTURES / "good" / "serverless" / "bounded_queues.py",
     FIXTURES / "allowed" / "experiments" / "__main__.py",
     FIXTURES / "allowed" / "sim" / "rng.py",
 ]
@@ -133,6 +135,17 @@ def test_local_fault_prob_binding_is_not_flagged():
         "    return draw < crash_prob\n"
     )
     assert lint_source(source, "mod.py") == []
+
+
+def test_unbounded_queue_is_path_scoped_to_platform_packages():
+    source = "from collections import deque\n\nqueue = deque()\n"
+    assert lint_source(source, "src/repro/core/queueing.py") == []
+    assert {v.rule_id for v in lint_source(source, "src/repro/iaas/service.py")} == {"SIM010"}
+
+
+def test_bounded_deque_in_platform_package_is_clean():
+    source = "from collections import deque\n\nqueue = deque(maxlen=64)\n"
+    assert lint_source(source, "src/repro/iaas/service.py") == []
 
 
 def test_time_comparison_against_string_is_not_flagged():

@@ -1,0 +1,63 @@
+"""The M/M/N admission predictor: conditional wait and deadline checks."""
+
+import pytest
+
+from repro.overload import conditional_wait, meets_deadline, predicted_sojourn
+
+
+class TestConditionalWait:
+    def test_empty_queue_with_free_server_waits_nothing(self):
+        assert conditional_wait(queued=0, busy=2, servers=4, mu=1.0) == 0.0
+
+    def test_saturated_servers_wait_scales_with_backlog(self):
+        # Erlang(k+1, n*mu) mean: (queued + 1) / (n * mu)
+        assert conditional_wait(queued=3, busy=4, servers=4, mu=0.5) == pytest.approx(4 / 2.0)
+
+    def test_backlog_predicts_wait_even_below_capacity(self):
+        # a nonempty queue means FIFO order delays the new arrival no
+        # matter how many servers are nominally free right now
+        assert conditional_wait(queued=10, busy=1, servers=8, mu=1.0) > 0.0
+
+    def test_wait_is_monotone_in_backlog(self):
+        waits = [conditional_wait(q, 4, 4, 1.0) for q in range(0, 20, 4)]
+        assert waits == sorted(waits)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(queued=0, busy=0, servers=0, mu=1.0),
+            dict(queued=0, busy=0, servers=1, mu=0.0),
+            dict(queued=-1, busy=0, servers=1, mu=1.0),
+            dict(queued=0, busy=-1, servers=1, mu=1.0),
+        ],
+    )
+    def test_invalid_inputs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            conditional_wait(**kwargs)
+
+
+class TestPredictedSojourn:
+    def test_sojourn_is_wait_plus_service(self):
+        wait = conditional_wait(queued=4, busy=2, servers=2, mu=1.0)
+        assert predicted_sojourn(queued=4, busy=2, servers=2, mu=1.0) == pytest.approx(
+            wait + 1.0
+        )
+
+
+class TestMeetsDeadline:
+    def test_idle_system_meets_a_generous_deadline(self):
+        assert meets_deadline(queued=0, busy=0, servers=2, mu=1.0, qos_target=2.0)
+
+    def test_deep_backlog_misses_the_deadline(self):
+        assert not meets_deadline(queued=100, busy=2, servers=2, mu=1.0, qos_target=2.0)
+
+    def test_slack_tightens_the_verdict(self):
+        kwargs = dict(queued=2, busy=2, servers=2, mu=1.0, qos_target=2.5)
+        assert meets_deadline(**kwargs, slack=1.0)
+        assert not meets_deadline(**kwargs, slack=3.0)
+
+    def test_invalid_target_and_slack_raise(self):
+        with pytest.raises(ValueError):
+            meets_deadline(0, 0, 1, 1.0, qos_target=0.0)
+        with pytest.raises(ValueError):
+            meets_deadline(0, 0, 1, 1.0, qos_target=1.0, slack=0.0)
