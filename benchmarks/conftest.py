@@ -16,6 +16,27 @@ def pytest_collection_modifyitems(items):
         item.add_marker(pytest.mark.slow)
 
 
+@pytest.fixture(autouse=True, scope="session")
+def executor_defaults():
+    """Pick up ``REPRO_WORKERS`` / ``REPRO_CACHE`` for the bench session.
+
+    The figure benches call sweeps without explicit ``workers``/``cache``
+    arguments; this fixture routes them through the environment-driven
+    executor defaults (and prints what was chosen, so a bench log always
+    records whether runs were parallel and/or cached).
+    """
+    from repro.experiments import executor
+    from repro.experiments.cache import RunCache
+
+    workers = executor.resolve_workers()
+    cache = RunCache.from_env()
+    executor.configure(workers=workers, cache=cache)
+    where = cache.root if cache is not None else "off"
+    print(f"[executor: workers={workers}, cache={where}]")
+    yield
+    executor.configure(workers=None, cache=None)
+
+
 @pytest.fixture
 def regenerate(benchmark, capsys):
     """Run a figure regenerator once under the benchmark clock and print it."""

@@ -107,6 +107,44 @@ def test_pcr_fit_speed(benchmark):
     assert w.shape == (3,)
 
 
+def test_record_completion_throughput(benchmark):
+    """Telemetry fold of 20k completed queries (the per-query ledger cost).
+
+    Every completed query on every platform funnels through
+    ``ServiceMetrics.record_completion``, so its constant factor is paid
+    more often than any other line in the repo.  The batch mixes warm and
+    cold queries across both platforms to exercise the stage loop and the
+    served-by tally on realistic shapes.
+    """
+    from repro.telemetry import ServiceMetrics
+    from repro.workloads.loadgen import Query
+
+    queries = []
+    for i in range(20000):
+        q = Query(qid=i, service="bench", t_submit=0.1 * i)
+        q.t_complete = q.t_submit + 0.4 + 0.001 * (i % 7)
+        q.breakdown = {"proc": 0.01, "queue": 0.02, "exec": 0.3, "post": 0.01}
+        if i % 5 == 0:
+            q.breakdown["cold"] = 0.5
+            q.breakdown["load"] = 0.05
+        q.served_by = "serverless" if i % 3 else "iaas"
+        queries.append(q)
+
+    def run():
+        metrics = ServiceMetrics("bench", qos_target=0.5)
+        for q in queries:
+            metrics.record_completion(q)
+        return metrics
+
+    metrics = benchmark(run)
+    assert metrics.completed == len(queries)
+    assert metrics.served_by["iaas"] + metrics.served_by["serverless"] == len(queries)
+    t0 = time.perf_counter()
+    run()
+    per_query_us = (time.perf_counter() - t0) / len(queries) * 1e6
+    _record(record_completion_us=per_query_us)
+
+
 def test_full_mixed_platform_minute(benchmark):
     """One simulated minute of a loaded serverless platform."""
     from repro.serverless.platform import ServerlessPlatform

@@ -2,7 +2,7 @@
 # The single development gate: every PR must pass this locally and in CI.
 #
 #   1. simlint  — the repo's own AST linter for sim-kernel invariants
-#                 (SIM001..SIM010, see DESIGN.md §7).  Always runs; pure
+#                 (SIM001..SIM011, see DESIGN.md §7).  Always runs; pure
 #                 stdlib, so there is no environment where it can't.
 #   2. mypy     — strict typing on repro.sim / repro.core /
 #                 repro.serverless / repro.overload (config in
@@ -18,7 +18,13 @@
 #                 a run with no overload layer at all, and an enabled
 #                 policy under 2.5x offered load + faults must shed,
 #                 hold admitted p95 inside QoS, and finish (no wedge).
-#   6. pytest   — the quick test tier (slow end-to-end benches excluded;
+#   6. executor — parallel-identity gate (DESIGN.md §10): a workers=4
+#                 fan-out of a chaos batch must be float.hex-identical
+#                 to the workers=1 serial batch.  The chaos/overload
+#                 smokes above also route through run_many, so they
+#                 exercise whatever REPRO_WORKERS the environment sets
+#                 (CI runs the whole gate under REPRO_WORKERS=2).
+#   7. pytest   — the quick test tier (slow end-to-end benches excluded;
 #                 run `pytest` with no -m filter for the full tier).
 #
 # Usage: scripts/check.sh
@@ -46,11 +52,16 @@ fi
 
 echo "== chaos: zero-fault plan is bit-identical to no fault layer =="
 python - <<'EOF'
-from repro.experiments.runner import run_amoeba
+from repro.experiments.executor import RunRequest, run_many
 from repro.experiments.scenarios import chaos_scenario, default_scenario
 
-plain = run_amoeba(default_scenario("matmul", day=600.0, seed=0))
-zero = run_amoeba(chaos_scenario("matmul", fault_scale=0.0, day=600.0, seed=0))
+plain, zero = run_many(
+    [
+        RunRequest(system="amoeba", scenario=default_scenario("matmul", day=600.0, seed=0)),
+        RunRequest(system="amoeba", scenario=chaos_scenario("matmul", fault_scale=0.0, day=600.0, seed=0)),
+    ],
+    cache=False,
+)
 assert zero.faults is not None and zero.faults.total_injected == 0
 
 def hexes(result):
@@ -65,7 +76,7 @@ echo "== overload: disabled policy is bit-identical + enabled policy protects ==
 python - <<'EOF'
 from dataclasses import replace
 
-from repro.experiments.runner import run_amoeba
+from repro.experiments.executor import RunRequest, run_many
 from repro.experiments.scenarios import default_scenario, overload_scenario
 from repro.overload import OverloadPolicy
 
@@ -73,18 +84,24 @@ def hexes(result):
     return [x.hex() for x in result.services["matmul"].metrics.latencies.values()]
 
 base = default_scenario("matmul", day=600.0, seed=0)
-plain = run_amoeba(base)
-wired = run_amoeba(replace(base, overload=OverloadPolicy.disabled()))
+policy = OverloadPolicy()
+plain, wired, stormy = run_many(
+    [
+        RunRequest(system="amoeba", scenario=base),
+        RunRequest(system="amoeba", scenario=replace(base, overload=OverloadPolicy.disabled())),
+        RunRequest(
+            system="amoeba",
+            scenario=overload_scenario("matmul", lambda_factor=2.5, policy=policy, day=600.0, seed=0),
+        ),
+    ],
+    cache=False,
+)
 assert wired.overload is not None and not wired.overload.policy_enabled
 assert wired.overload.total_rejections == 0
 if hexes(wired) != hexes(plain):
     raise SystemExit("disabled-policy run diverged from the no-overload-layer baseline")
 print("disabled-policy run is bit-identical to the baseline")
 
-policy = OverloadPolicy()
-stormy = run_amoeba(
-    overload_scenario("matmul", lambda_factor=2.5, policy=policy, day=600.0, seed=0)
-)
 m = stormy.services["matmul"].metrics
 ov = stormy.overload
 assert ov is not None and ov.policy_enabled
@@ -100,6 +117,32 @@ print(
     f"drops {ov.drops}, breaker {ov.breaker_state} "
     f"(opens {ov.breaker_trips + ov.breaker_reopens})"
 )
+EOF
+
+echo "== executor: workers=4 batch is bit-identical to workers=1 =="
+python - <<'EOF'
+from repro.experiments.executor import RunRequest, run_many
+from repro.experiments.scenarios import chaos_scenario
+
+requests = [
+    RunRequest(
+        system="amoeba",
+        scenario=chaos_scenario("matmul", fault_scale=scale, day=300.0, seed=0),
+    )
+    for scale in (0.0, 1.0)
+]
+
+def hexes(results):
+    return [
+        [x.hex() for x in r.services["matmul"].metrics.latencies.values()]
+        for r in results
+    ]
+
+serial = run_many(requests, workers=1, cache=False)
+parallel = run_many(requests, workers=4, cache=False)
+if hexes(serial) != hexes(parallel):
+    raise SystemExit("workers=4 fan-out diverged from the workers=1 serial batch")
+print("workers=4 fan-out is float.hex-identical to the serial batch")
 EOF
 
 echo "== pytest: quick tier =="

@@ -101,6 +101,16 @@ RULES: Tuple[Rule, ...] = (
         "enforce an explicit bound at enqueue, or justify with "
         "'# simlint: ignore[SIM010]'",
     ),
+    Rule(
+        "SIM011",
+        "lambda/nested function submitted to an executor in experiments code",
+        "sweep fan-out crosses a process boundary: ProcessPoolExecutor "
+        "tasks pickle by qualified name, so only module-level callables "
+        "survive the trip — a lambda or closure would crash the parallel "
+        "path that the serial fallback never exercises; pass a "
+        "module-level function and move per-run variation into the "
+        "RunRequest data",
+    ),
 )
 
 RULE_IDS: Set[str] = {rule.id for rule in RULES}
@@ -166,6 +176,14 @@ _BOUNDED_QUEUE_PACKAGES = {"serverless", "iaas"}
 #: binding names that denote a request queue/backlog (SIM010)
 _QUEUE_NAME_RE = re.compile(r"(?i)^\w*(queue|backlog|pending|waiting)\w*$")
 
+#: path segments whose executor submissions must be picklable (SIM011):
+#: the experiments package is where run fan-out crosses process bounds
+_EXECUTOR_PACKAGES = {"experiments"}
+
+#: attribute-call names that hand a callable to an executor (SIM011);
+#: bare builtin map() stays in-process and is exempt
+_EXECUTOR_SUBMIT_METHODS = {"submit", "map"}
+
 #: names that look like a fault-injection probability/rate (SIM009);
 #: matched against module-level constant bindings only — FaultPlan
 #: *fields* (class scope) are the sanctioned home for these numbers
@@ -216,6 +234,10 @@ class InvariantVisitor(ast.NodeVisitor):
         self._rng_exempt = _path_matches(path, _RNG_ALLOWED)
         self._annotations_apply = bool(_ANNOTATED_PACKAGES & _path_segments(path))
         self._queue_bounds_apply = bool(_BOUNDED_QUEUE_PACKAGES & _path_segments(path))
+        self._executor_rules_apply = bool(_EXECUTOR_PACKAGES & _path_segments(path))
+        #: scope stack of {name -> def line} for unpicklable callables
+        #: (lambda bindings anywhere, nested defs) — SIM011 lookups walk it
+        self._unpicklable_callables: List[Dict[str, int]] = [{}]
         #: stack of per-function {name -> cancel line} maps for SIM004
         self._cancelled_stack: List[Dict[str, int]] = []
         self._function_depth = 0
@@ -283,7 +305,44 @@ class InvariantVisitor(ast.NodeVisitor):
                     "every sequence",
                 )
         self._check_cancelled_use(node)
+        if self._executor_rules_apply:
+            self._check_executor_submission(node)
         self.generic_visit(node)
+
+    # -- SIM011 (unpicklable executor submissions) -------------------------
+    def _check_executor_submission(self, node: ast.Call) -> None:
+        """Flag ``pool.submit(lambda: ...)`` / closures in experiments/."""
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _EXECUTOR_SUBMIT_METHODS):
+            return
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, ast.Lambda):
+                self._report(
+                    node,
+                    "SIM011",
+                    f"lambda passed to .{func.attr}(); executor tasks pickle by "
+                    "qualified name, so only a module-level function crosses the "
+                    "process boundary — move it to module scope and carry per-run "
+                    "variation in the RunRequest",
+                )
+                continue
+            if isinstance(arg, ast.Name):
+                line = self._lookup_unpicklable(arg.id)
+                if line is not None:
+                    self._report(
+                        node,
+                        "SIM011",
+                        f"'{arg.id}' (nested function/lambda from line {line}) passed "
+                        f"to .{func.attr}(); it cannot pickle to a worker process — "
+                        "define it at module level and carry per-run variation in "
+                        "the RunRequest",
+                    )
+
+    def _lookup_unpicklable(self, name: str) -> Optional[int]:
+        for frame in reversed(self._unpicklable_callables):
+            if name in frame:
+                return frame[name]
+        return None
 
     def _check_cancelled_use(self, node: ast.Call) -> None:
         """SIM004: flag re-arming or re-scheduling of a cancelled event."""
@@ -334,12 +393,24 @@ class InvariantVisitor(ast.NodeVisitor):
         for target in node.targets:
             self._record_fault_prob_const(target, node.value)
             self._check_unbounded_queue(target, node.value, node)
+            self._track_lambda_binding(target, node.value, node)
         self.generic_visit(node)
+
+    def _track_lambda_binding(self, target: ast.AST, value: ast.AST, node: ast.AST) -> None:
+        """Track ``name = lambda ...`` bindings for SIM011 (rebind clears)."""
+        if not isinstance(target, ast.Name):
+            return
+        frame = self._unpicklable_callables[-1]
+        if isinstance(value, ast.Lambda):
+            frame[target.id] = getattr(node, "lineno", 1)
+        else:
+            frame.pop(target.id, None)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         if node.value is not None:
             self._record_fault_prob_const(node.target, node.value)
             self._check_unbounded_queue(node.target, node.value, node)
+            self._track_lambda_binding(node.target, node.value, node)
         self.generic_visit(node)
 
     # -- SIM010 (unbounded platform queues) --------------------------------
@@ -492,12 +563,17 @@ class InvariantVisitor(ast.NodeVisitor):
         self._enter_function(node)
 
     def _enter_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if self._function_depth > 0:
+            # a def inside a function is a closure: remember it for SIM011
+            self._unpicklable_callables[-1][node.name] = node.lineno
         self._cancelled_stack.append({})
+        self._unpicklable_callables.append({})
         self._function_depth += 1
         try:
             self.generic_visit(node)
         finally:
             self._function_depth -= 1
+            self._unpicklable_callables.pop()
             self._cancelled_stack.pop()
 
     # -- SIM006 (bare except) ----------------------------------------------

@@ -11,8 +11,19 @@
   figure (``fig2`` … ``fig16``, ``sec7e``), each returning a structured
   result and a text rendering.
 * :mod:`repro.experiments.report` — plain-text table renderer.
+* :mod:`repro.experiments.executor` — parallel fan-out of independent
+  seeded runs with submission-order (bit-deterministic) merging.
+* :mod:`repro.experiments.cache` — the content-addressed run cache the
+  executor memoizes finished runs in.
 """
 
+from repro.experiments.cache import RunCache, code_salt, fingerprint
+from repro.experiments.executor import (
+    RunRequest,
+    configure,
+    run_many,
+    run_systems,
+)
 from repro.experiments.runner import (
     RunResult,
     ServiceResult,
@@ -23,12 +34,19 @@ from repro.experiments.runner import (
 from repro.experiments.scenarios import Scenario, concurrency_threshold, default_scenario
 
 __all__ = [
+    "RunCache",
+    "RunRequest",
     "RunResult",
     "Scenario",
     "ServiceResult",
+    "code_salt",
     "concurrency_threshold",
+    "configure",
     "default_scenario",
+    "fingerprint",
     "run_amoeba",
+    "run_many",
     "run_nameko",
     "run_openwhisk",
+    "run_systems",
 ]

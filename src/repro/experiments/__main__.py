@@ -5,20 +5,30 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments fig11
     python -m repro.experiments fig12 --day 2400 --seed 3
+    python -m repro.experiments chaos --workers 4
     python -m repro.experiments all          # everything (slow)
 
 Each target prints the regenerated table; heavy diurnal runs are cached
-within one invocation, so ``all`` shares work across figures.
+within one invocation, so ``all`` shares work across figures.  Sweeps
+additionally fan out over ``--workers`` processes and memoize finished
+runs in the content-addressed cache under ``--cache`` (default
+``.repro_cache/``; ``--no-cache`` turns it off), so re-running a target
+— or resuming an interrupted ``all`` — replays cached runs instead of
+recomputing them.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+from pathlib import Path
 
+from repro.experiments import executor
 from repro.experiments import figures as F
 from repro.experiments import ablations as A
+from repro.experiments.cache import CACHE_ENV_VAR, DEFAULT_CACHE_ROOT, RunCache
 
 
 def _portfolio(**kw):
@@ -77,7 +87,24 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--export", metavar="DIR", default=None,
                         help="also write <target>.csv and <target>.json to DIR")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width for sweep fan-out "
+                        "(default: $REPRO_WORKERS, else serial)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help=f"run-cache directory (default {DEFAULT_CACHE_ROOT}/)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk run cache")
     args = parser.parse_args(argv)
+
+    if args.no_cache:
+        cache = None
+    elif args.cache is not None:
+        cache = RunCache(Path(args.cache))
+    elif CACHE_ENV_VAR in os.environ:
+        cache = RunCache.from_env()  # the env can also turn the cache off
+    else:
+        cache = RunCache()
+    executor.configure(workers=args.workers, cache=cache)
 
     if args.target == "list":
         for name in TARGETS:
@@ -99,8 +126,6 @@ def main(argv=None) -> int:
         result = fn(**kwargs)
         print(result.text())
         if args.export:
-            from pathlib import Path
-
             from repro.experiments.export import figure_to_csv, figure_to_json
 
             out = Path(args.export)
@@ -109,6 +134,8 @@ def main(argv=None) -> int:
             figure_to_json(result, out / f"{name}.json")
             print(f"[exported to {out / name}.{{csv,json}}]")
         print(f"[{name}: {time.time() - t0:.1f}s]\n")
+    if cache is not None:
+        print(f"[run cache {cache.root}: {cache.hits} hits, {cache.stores} stores]")
     return 0
 
 

@@ -15,8 +15,8 @@ from dataclasses import replace
 from typing import Tuple
 
 from repro.core.config import AmoebaConfig
+from repro.experiments.executor import RunRequest, run_many
 from repro.experiments.report import FigureResult
-from repro.experiments.runner import run_amoeba
 from repro.experiments.scenarios import Scenario, default_scenario
 
 __all__ = [
@@ -59,9 +59,12 @@ def ablate_guard(name: str = "matmul", day: float = 3600.0, seed: int = 0) -> Fi
     vulnerable = (vulnerable_spec, ConstantTrace(8.0), 4)
     scenario = dataclasses.replace(base, background=base.background + (vulnerable,))
 
+    legs = (("guard on", True), ("guard off", False))
+    results = run_many(
+        [RunRequest(system="amoeba", scenario=scenario, guard=guard) for _, guard in legs]
+    )
     rows = []
-    for label, guard in (("guard on", True), ("guard off", False)):
-        run = run_amoeba(scenario, guard=guard)
+    for (label, _guard), run in zip(legs, results):
         fg = run.foreground(scenario)
         vuln = run.services["bg_vulnerable"].metrics
         rows.append(
@@ -89,9 +92,12 @@ def ablate_sample_period(
     scenario = default_scenario(name, day=day, seed=seed)
     base = AmoebaConfig()
     fast = replace(base, min_sample_period=3.0, max_sample_period=3.0, min_dwell=30.0)
+    legs = (("Eq. 8 period", base), ("3 s period", fast))
+    results = run_many(
+        [RunRequest(system="amoeba", scenario=scenario, config=cfg) for _, cfg in legs]
+    )
     rows = []
-    for label, cfg in (("Eq. 8 period", base), ("3 s period", fast)):
-        run = run_amoeba(scenario, config=cfg)
+    for (label, _cfg), run in zip(legs, results):
         viol, cores, switches = _fg_stats(run, scenario)
         rows.append([label, viol, cores, switches])
     return FigureResult(
@@ -113,20 +119,25 @@ def ablate_keep_alive(
     return container memory quickly but re-pay cold starts whenever the
     inter-arrival gap exceeds the window.
     """
-    import dataclasses
-
-    from repro.experiments.runner import run_openwhisk
     from repro.serverless.config import ServerlessConfig
 
     scenario = default_scenario(name, day=day, seed=seed, with_background=False)
+    # the same scenario under each platform config (thresholds depend
+    # only on overheads, which keep-alive does not touch)
+    keep_alives = (5.0, 30.0, 60.0, 300.0)
+    results = run_many(
+        [
+            RunRequest(
+                system="openwhisk",
+                scenario=scenario,
+                serverless_config=ServerlessConfig(keep_alive=keep_alive),
+            )
+            for keep_alive in keep_alives
+        ]
+    )
     rows = []
-    for keep_alive in (5.0, 30.0, 60.0, 300.0):
-        cfg = ServerlessConfig(keep_alive=keep_alive)
-        # rebuild the scenario against this platform config (thresholds
-        # depend only on overheads, which keep-alive does not touch)
-        sc = dataclasses.replace(scenario)
-        run = _run_openwhisk_with_config(sc, cfg)
-        fg = run.foreground(sc)
+    for keep_alive, run in zip(keep_alives, results):
+        fg = run.foreground(scenario)
         rows.append(
             [
                 keep_alive,
@@ -144,50 +155,21 @@ def ablate_keep_alive(
     )
 
 
-def _run_openwhisk_with_config(scenario: Scenario, cfg):
-    """run_openwhisk with a custom platform config (helper for sweeps)."""
-    from repro.experiments.runner import RunResult, ServiceResult, _ledger_timeline
-    from repro.serverless.platform import ServerlessPlatform
-    from repro.sim.environment import Environment
-    from repro.sim.rng import RngRegistry
-    from repro.telemetry import ServiceMetrics
-    from repro.workloads.loadgen import LoadGenerator
-
-    env = Environment()
-    rng = RngRegistry(seed=scenario.seed)
-    platform = ServerlessPlatform(env, rng, config=cfg)
-    spec = scenario.foreground
-    metrics = ServiceMetrics(spec.name, spec.qos_target)
-    platform.register(spec, metrics=metrics, limit=scenario.limit)
-    LoadGenerator(env, spec.name, scenario.trace, platform.invoke, rng)
-    env.run(until=scenario.duration)
-    ledger = platform.function_ledger(spec.name)
-    cpu, mem = _ledger_timeline(ledger)
-    result = ServiceResult(
-        spec=spec,
-        metrics=metrics,
-        usage=ledger.snapshot(),
-        cpu_timelines=[cpu],
-        mem_timelines=[mem],
-    )
-    return RunResult(
-        system="openwhisk", duration=scenario.duration, services={spec.name: result}
-    )
-
-
 def ablate_discriminant(
     name: str = "matmul", day: float = 3600.0, seed: int = 0
 ) -> FigureResult:
     """Eq. 5 M/M/N discriminant vs. naive utilization thresholds."""
     scenario = default_scenario(name, day=day, seed=seed)
-    rows = []
     configs = [
         ("Eq. 5 (M/M/N)", AmoebaConfig()),
         ("rho < 0.5", AmoebaConfig(discriminant="utilization", naive_rho_max=0.5)),
         ("rho < 0.9", AmoebaConfig(discriminant="utilization", naive_rho_max=0.9)),
     ]
-    for label, cfg in configs:
-        run = run_amoeba(scenario, config=cfg)
+    results = run_many(
+        [RunRequest(system="amoeba", scenario=scenario, config=cfg) for _, cfg in configs]
+    )
+    rows = []
+    for (label, _cfg), run in zip(configs, results):
         viol, cores, switches = _fg_stats(run, scenario)
         rows.append([label, viol, cores, switches])
     return FigureResult(

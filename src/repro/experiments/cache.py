@@ -1,0 +1,238 @@
+"""Content-addressed run cache for experiment runs (DESIGN.md §10).
+
+Every evaluation artifact in this repo is assembled from independent,
+fully seeded simulation runs; two runs with the same scenario content,
+seed, config, and *code* produce bit-identical results.  That makes run
+results memoizable by content: this module fingerprints a run request
+(every frozen config field, every scenario parameter down to the trace
+noise tables, the seed, and a code-version salt derived from the source
+tree) and stores the picklable :class:`~repro.experiments.runner.RunResult`
+on disk under ``.repro_cache/``.
+
+Fingerprinting rules:
+
+* floats are encoded as ``float.hex()`` — the cache key distinguishes
+  exactly the inputs the simulation distinguishes, no more, no less;
+* numpy arrays contribute dtype, shape, and raw bytes;
+* dataclasses contribute their class name and fields in field order;
+* plain objects (the ``Trace`` classes) contribute their class name and
+  ``vars()`` sorted by attribute name;
+* anything else — functions, environments, open handles — raises
+  :class:`FingerprintError`: if a request is not pure data it must not
+  be cached (and cannot be shipped to a worker process either).
+
+The code salt folds the full ``repro`` source tree into the key, so any
+code change invalidates every prior entry without a manual version bump.
+Corrupt or mismatched entries are discarded on read, never trusted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.executor import RunRequest
+    from repro.experiments.runner import RunResult
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "DEFAULT_CACHE_ROOT",
+    "FingerprintError",
+    "RunCache",
+    "code_salt",
+    "fingerprint",
+]
+
+#: environment knob: a directory enables the cache there; "0"/"off"
+#: (or unset) leaves it disabled; "1"/"on" uses :data:`DEFAULT_CACHE_ROOT`
+CACHE_ENV_VAR = "REPRO_CACHE"
+
+#: default on-disk location (relative to the current working directory)
+DEFAULT_CACHE_ROOT = Path(".repro_cache")
+
+#: bump when the on-disk entry layout changes shape
+_ENTRY_FORMAT = 1
+
+
+class FingerprintError(TypeError):
+    """A run request contains something that is not pure data."""
+
+
+def _update(h: "hashlib._Hash", obj: Any) -> None:
+    """Feed one object's canonical encoding into the hash, recursively."""
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, bool):
+        h.update(b"B1" if obj else b"B0")
+    elif isinstance(obj, int):
+        h.update(b"I" + str(obj).encode())
+    elif isinstance(obj, float):
+        h.update(b"F" + obj.hex().encode())
+    elif isinstance(obj, str):
+        raw = obj.encode()
+        h.update(b"S" + str(len(raw)).encode() + b":" + raw)
+    elif isinstance(obj, bytes):
+        h.update(b"Y" + str(len(obj)).encode() + b":" + obj)
+    elif isinstance(obj, (tuple, list)):
+        h.update(b"T(" if isinstance(obj, tuple) else b"L(")
+        for item in obj:
+            _update(h, item)
+            h.update(b",")
+        h.update(b")")
+    elif isinstance(obj, dict):
+        try:
+            keys = sorted(obj)
+        except TypeError as exc:  # unsortable mixed keys: no canonical order
+            raise FingerprintError(f"cannot canonically order dict keys: {obj.keys()!r}") from exc
+        h.update(b"D{")
+        for key in keys:
+            _update(h, key)
+            h.update(b"=")
+            _update(h, obj[key])
+            h.update(b",")
+        h.update(b"}")
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        h.update(b"A" + arr.dtype.str.encode() + str(arr.shape).encode())
+        h.update(arr.tobytes())
+    elif isinstance(obj, (np.floating, np.integer, np.bool_)):
+        _update(h, obj.item())
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        h.update(b"C<" + type(obj).__qualname__.encode() + b">")
+        for field in dataclasses.fields(obj):
+            h.update(field.name.encode() + b"=")
+            _update(h, getattr(obj, field.name))
+            h.update(b",")
+    elif hasattr(obj, "__dict__") and not callable(obj) and not isinstance(obj, type):
+        # plain data holders (the Trace classes): class name + sorted attrs
+        h.update(b"O<" + type(obj).__qualname__.encode() + b">")
+        for name in sorted(vars(obj)):
+            h.update(name.encode() + b"=")
+            _update(h, vars(obj)[name])
+            h.update(b",")
+    else:
+        raise FingerprintError(
+            f"cannot fingerprint {type(obj).__qualname__!r} ({obj!r}): run requests "
+            "must be pure data (numbers, strings, arrays, dataclasses, plain objects)"
+        )
+
+
+def fingerprint(request: "RunRequest", salt: str = "") -> str:
+    """Content hash of one run request (plus a code-version ``salt``)."""
+    h = hashlib.sha256()
+    h.update(b"repro-run-request-v1|" + salt.encode() + b"|")
+    _update(h, request)
+    return h.hexdigest()
+
+
+_CODE_SALT: Optional[str] = None
+
+
+def code_salt() -> str:
+    """Digest of the whole ``repro`` source tree (cached per process).
+
+    Any change to any ``src/repro/**.py`` file yields a different salt,
+    so stale cache entries from older code can never be served.
+    """
+    global _CODE_SALT
+    if _CODE_SALT is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode() + b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _CODE_SALT = h.hexdigest()
+    return _CODE_SALT
+
+
+class RunCache:
+    """Disk memo of run results, addressed by request fingerprint.
+
+    Entries live at ``<root>/<key[:2]>/<key>.pkl`` with an atomic
+    write-then-replace, so an interrupted sweep leaves either a complete
+    entry or none — resuming the sweep recomputes only what is missing.
+    Reads are defensive: an unreadable, misformatted, or key-mismatched
+    entry is deleted and reported as a miss, never trusted.
+    """
+
+    def __init__(self, root: Path | str = DEFAULT_CACHE_ROOT, salt: Optional[str] = None):
+        self.root = Path(root)
+        self.salt = salt if salt is not None else code_salt()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.discarded = 0
+
+    @classmethod
+    def from_env(cls) -> Optional["RunCache"]:
+        """The cache the :data:`CACHE_ENV_VAR` environment asks for.
+
+        Unset / ``""`` / ``"0"`` / ``"off"`` → ``None`` (disabled);
+        ``"1"`` / ``"on"`` → the default root; anything else is a path.
+        """
+        raw = os.environ.get(CACHE_ENV_VAR, "").strip()
+        if raw.lower() in ("", "0", "off", "no", "false"):
+            return None
+        if raw.lower() in ("1", "on", "yes", "true"):
+            return cls()
+        return cls(Path(raw))
+
+    def key(self, request: "RunRequest") -> str:
+        """The content address of ``request`` under this cache's salt."""
+        return fingerprint(request, salt=self.salt)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, request: "RunRequest", key: Optional[str] = None) -> Optional["RunResult"]:
+        """The memoized result, or None on a miss (corrupt entries are dropped)."""
+        key = key if key is not None else self.key(request)
+        path = self._path(key)
+        try:
+            payload = pickle.loads(path.read_bytes())
+            if (
+                not isinstance(payload, dict)
+                or payload.get("format") != _ENTRY_FORMAT
+                or payload.get("key") != key
+            ):
+                raise ValueError("cache entry does not match its address")
+            result = payload["result"]
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:  # noqa: BLE001 - any unreadable entry is a miss
+            self.discarded += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, request: "RunRequest", result: "RunResult", key: Optional[str] = None) -> None:
+        """Store one result atomically (write to a temp file, then replace)."""
+        key = key if key is not None else self.key(request)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        payload = {"format": _ENTRY_FORMAT, "key": key, "result": result}
+        tmp.write_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))

@@ -17,12 +17,16 @@ a run with no fault layer at all (asserted by the chaos tests and the
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple, Union
 
+from repro.experiments.executor import RunRequest, run_many
 from repro.experiments.report import FigureResult
-from repro.experiments.runner import RunResult, run_amoeba
+from repro.experiments.runner import RunResult
 from repro.faults.plan import FaultPlan
 from repro.experiments.scenarios import chaos_scenario
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.cache import RunCache
 
 __all__ = ["chaos_sweep"]
 
@@ -41,16 +45,31 @@ def chaos_sweep(
     seed: int = 0,
     scales: Sequence[float] = DEFAULT_SCALES,
     plan: Optional[FaultPlan] = None,
+    workers: Optional[int] = None,
+    cache: Union["RunCache", None, bool] = None,
 ) -> FigureResult:
-    """Sweep fault-plan scales; report fault counts and QoS deltas."""
+    """Sweep fault-plan scales; report fault counts and QoS deltas.
+
+    The per-scale runs are independent and fully seeded, so they fan out
+    through :func:`~repro.experiments.executor.run_many` — ``workers``/
+    ``cache`` default to the process-wide executor configuration, and
+    the report is ``float.hex``-identical for any worker count.
+    """
     if not scales:
         raise ValueError("need at least one fault scale")
+    scenarios = [
+        chaos_scenario(name, fault_scale=scale, plan=plan, day=day, seed=seed)
+        for scale in scales
+    ]
+    results = run_many(
+        [RunRequest(system="amoeba", scenario=scenario) for scenario in scenarios],
+        workers=workers,
+        cache=cache,
+    )
     rows = []
     runs = {}
     baseline: Optional[Tuple[float, float]] = None
-    for scale in scales:
-        scenario = chaos_scenario(name, fault_scale=scale, plan=plan, day=day, seed=seed)
-        result = run_amoeba(scenario)
+    for scale, scenario, result in zip(scales, scenarios, results):
         runs[scale] = result
         viol, viol_with_drops = _fg_violations(result, scenario.foreground.name)
         if baseline is None:

@@ -1,0 +1,232 @@
+"""Parallel experiment executor: seeded run fan-out with a run cache.
+
+Every sweep in this repo (chaos fault scales, overload factors, the
+NoM/NoP ablations, the figure regenerators) is a batch of *independent*
+fully seeded runs: each run builds its own
+:class:`~repro.sim.environment.Environment` and
+:class:`~repro.sim.rng.RngRegistry` from the request's seed, and no
+mutable state crosses a run boundary.  That makes the batch
+embarrassingly parallel — and bit-deterministic under parallelism, as
+long as results are merged in submission order rather than completion
+order.  :func:`run_many` is that merge.
+
+Design contract (DESIGN.md §10):
+
+* **Task specs are data.**  A :class:`RunRequest` carries the scenario,
+  system, variant, guard flag, seed, and config overrides — all
+  picklable, all fingerprintable.  The one callable that crosses the
+  process boundary is the module-level :func:`execute_request`
+  (lint rule SIM011 keeps it that way: lambdas/closures would break
+  pickling and silently serialize the sweep).
+* **Deterministic merge.**  Results are returned in submission order,
+  keyed by content fingerprint; worker count and completion order
+  cannot change the output.  ``workers=1`` bypasses the pool entirely —
+  the debugging fallback runs everything inline in this process.
+* **Content-addressed memoization.**  With a
+  :class:`~repro.experiments.cache.RunCache` attached, each unique
+  request is looked up by fingerprint before anything is executed, and
+  every freshly computed result is stored — so shared baselines (the
+  pure-IaaS / pure-serverless runs behind Figs. 10-16) are computed
+  once per session and interrupted sweeps resume where they stopped.
+* **Duplicate requests collapse.**  Two requests with the same
+  fingerprint execute once and share the result object.
+
+Knobs: ``workers`` argument > :func:`configure` default >
+``REPRO_WORKERS`` environment > serial; ``cache`` argument (``False``
+forces off) > :func:`configure` default > ``REPRO_CACHE`` environment >
+disabled.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.config import AmoebaConfig
+from repro.experiments.cache import RunCache, fingerprint
+from repro.experiments.runner import (
+    RunResult,
+    run_amoeba,
+    run_nameko,
+    run_openwhisk,
+)
+from repro.experiments.scenarios import Scenario
+from repro.serverless.config import ServerlessConfig
+
+__all__ = [
+    "WORKERS_ENV_VAR",
+    "RunRequest",
+    "configure",
+    "execute_request",
+    "resolve_cache",
+    "resolve_workers",
+    "run_many",
+    "run_systems",
+]
+
+#: environment knob for the default worker count
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+_SYSTEMS = ("amoeba", "nameko", "openwhisk")
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One independent, fully seeded run: pure data, picklable.
+
+    ``system`` selects the runner (``amoeba`` / ``nameko`` /
+    ``openwhisk``); ``variant``, ``guard`` and ``config`` only apply to
+    Amoeba runs, ``serverless_config`` only to OpenWhisk runs.  ``seed``
+    overrides the scenario's seed, exactly like the runner arguments.
+    """
+
+    system: str
+    scenario: Scenario
+    variant: str = "full"
+    guard: bool = True
+    seed: Optional[int] = None
+    config: Optional[AmoebaConfig] = None
+    serverless_config: Optional[ServerlessConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.system not in _SYSTEMS:
+            raise ValueError(f"unknown system {self.system!r}; expected one of {_SYSTEMS}")
+        if self.system != "amoeba" and (self.variant != "full" or self.config is not None):
+            raise ValueError(f"variant/config only apply to amoeba runs, not {self.system!r}")
+        if self.system != "openwhisk" and self.serverless_config is not None:
+            raise ValueError(f"serverless_config only applies to openwhisk runs, not {self.system!r}")
+
+
+def execute_request(request: RunRequest) -> RunResult:
+    """Execute one request (module-level so it pickles to worker processes)."""
+    if request.system == "amoeba":
+        return run_amoeba(
+            request.scenario,
+            variant=request.variant,
+            config=request.config,
+            guard=request.guard,
+            seed=request.seed,
+        )
+    if request.system == "nameko":
+        return run_nameko(request.scenario, seed=request.seed)
+    return run_openwhisk(request.scenario, seed=request.seed, config=request.serverless_config)
+
+
+# -- process-wide defaults (set by the CLI / bench harness) -----------------
+
+_DEFAULT_WORKERS: Optional[int] = None
+_DEFAULT_CACHE: Optional[RunCache] = None
+_UNSET = object()
+
+
+def configure(workers: object = _UNSET, cache: object = _UNSET) -> None:
+    """Set process-wide executor defaults (CLI / bench harness hook).
+
+    ``configure(workers=None, cache=None)`` resets to the environment-
+    driven defaults.  Arguments not passed are left unchanged.
+    """
+    global _DEFAULT_WORKERS, _DEFAULT_CACHE
+    if workers is not _UNSET:
+        _DEFAULT_WORKERS = None if workers is None else int(workers)  # type: ignore[arg-type]
+    if cache is not _UNSET:
+        if cache is not None and not isinstance(cache, RunCache):
+            raise TypeError(f"cache must be a RunCache or None, got {type(cache).__name__}")
+        _DEFAULT_CACHE = cache
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count: argument > configure() > env > 1 (serial)."""
+    if workers is None:
+        workers = _DEFAULT_WORKERS
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError as exc:
+                raise ValueError(f"{WORKERS_ENV_VAR}={raw!r} is not an integer") from exc
+    if workers is None:
+        return 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def resolve_cache(cache: Union[RunCache, None, bool] = None) -> Optional[RunCache]:
+    """Effective cache: argument (``False`` = off) > configure() > env > off."""
+    if cache is False:
+        return None
+    if isinstance(cache, RunCache):
+        return cache
+    if _DEFAULT_CACHE is not None:
+        return _DEFAULT_CACHE
+    return RunCache.from_env()
+
+
+def run_many(
+    requests: Iterable[RunRequest],
+    workers: Optional[int] = None,
+    cache: Union[RunCache, None, bool] = None,
+) -> List[RunResult]:
+    """Run a batch of requests; results in submission order, bit-deterministic.
+
+    Duplicate requests (same content fingerprint) execute once; cached
+    results are served without executing anything.  With ``workers > 1``
+    the misses fan out over a process pool, and results are still merged
+    in submission order — ``workers=4`` output is ``float.hex``-identical
+    to ``workers=1`` output.
+    """
+    requests = list(requests)
+    workers = resolve_workers(workers)
+    live_cache = resolve_cache(cache)
+    salt = live_cache.salt if live_cache is not None else ""
+    keys = [fingerprint(request, salt=salt) for request in requests]
+
+    unique: Dict[str, RunRequest] = {}
+    for key, request in zip(keys, requests):
+        unique.setdefault(key, request)
+
+    results: Dict[str, RunResult] = {}
+    if live_cache is not None:
+        for key, request in unique.items():
+            hit = live_cache.get(request, key=key)
+            if hit is not None:
+                results[key] = hit
+
+    misses = [(key, request) for key, request in unique.items() if key not in results]
+    if workers <= 1 or len(misses) <= 1:
+        for key, request in misses:
+            results[key] = execute_request(request)
+            if live_cache is not None:
+                live_cache.put(request, results[key], key=key)
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
+            futures = [(key, request, pool.submit(execute_request, request)) for key, request in misses]
+            # submission-order merge: completion order cannot leak into
+            # the output, so any worker count reproduces the serial batch
+            for key, request, future in futures:
+                results[key] = future.result()
+                if live_cache is not None:
+                    live_cache.put(request, results[key], key=key)
+    return [results[key] for key in keys]
+
+
+def run_systems(
+    scenario: Scenario,
+    systems: Sequence[str],
+    workers: Optional[int] = None,
+    cache: Union[RunCache, None, bool] = None,
+) -> Dict[str, RunResult]:
+    """The named systems run on one scenario (``nom``/``nop`` = variants)."""
+    requests = []
+    for system in systems:
+        if system in ("nom", "nop"):
+            requests.append(RunRequest(system="amoeba", scenario=scenario, variant=system))
+        elif system in _SYSTEMS:
+            requests.append(RunRequest(system=system, scenario=scenario))
+        else:
+            raise ValueError(f"unknown system {system!r}")
+    results = run_many(requests, workers=workers, cache=cache)
+    return dict(zip(systems, results))

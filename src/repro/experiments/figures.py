@@ -22,8 +22,9 @@ from repro.experiments.metrics import (
     peak_load_iaas,
     peak_load_serverless,
 )
+from repro.experiments.executor import run_systems
 from repro.experiments.report import FigureResult
-from repro.experiments.runner import RunResult, run_amoeba, run_nameko, run_openwhisk
+from repro.experiments.runner import RunResult
 from repro.experiments.scenarios import (
     PEAK_RATES,
     Scenario,
@@ -77,28 +78,19 @@ def run_triple(
 
     ``systems`` ⊆ {"amoeba", "nameko", "openwhisk", "nom", "nop"}; empty
     means the three headline systems.  Results are cached per process so
-    successive figures share runs.
+    successive figures share runs; the missing systems fan out through
+    :func:`~repro.experiments.executor.run_systems`, which adds the
+    process-pool and on-disk run-cache layers underneath this in-process
+    one.
     """
     wanted = systems if systems else ("amoeba", "nameko", "openwhisk")
     key = (name, day, seed)
     scenario, results = _TRIPLE_CACHE.setdefault(
         key, (default_scenario(name, day=day, seed=seed), {})
     )
-    for system in wanted:
-        if system in results:
-            continue
-        if system == "amoeba":
-            results[system] = run_amoeba(scenario)
-        elif system == "nameko":
-            results[system] = run_nameko(scenario)
-        elif system == "openwhisk":
-            results[system] = run_openwhisk(scenario)
-        elif system == "nom":
-            results[system] = run_amoeba(scenario, variant="nom")
-        elif system == "nop":
-            results[system] = run_amoeba(scenario, variant="nop")
-        else:
-            raise ValueError(f"unknown system {system!r}")
+    missing = tuple(system for system in wanted if system not in results)
+    if missing:
+        results.update(run_systems(scenario, missing))
     return scenario, results
 
 

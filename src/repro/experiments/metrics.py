@@ -35,7 +35,29 @@ __all__ = [
     "peak_load_iaas",
     "peak_load_search",
     "peak_load_serverless",
+    "resample_zoh",
 ]
+
+
+def resample_zoh(
+    timelines: Sequence[Tuple[np.ndarray, np.ndarray]], grid: np.ndarray
+) -> np.ndarray:
+    """Sum of step timelines resampled (zero-order hold) onto ``grid``.
+
+    Each timeline is a ``(times, values)`` pair recording a step function
+    (the decimated :class:`~repro.sim.stats.TimeSeries` ledgers); the
+    value at grid point ``g`` is the last recorded value at or before
+    ``g``, or 0 before the first sample.  Shared by the
+    :class:`~repro.experiments.runner.ServiceResult` usage accessors and
+    any figure that projects occupation timelines onto a common grid.
+    """
+    total = np.zeros(len(grid))
+    for t, v in timelines:
+        if len(t) == 0:
+            continue
+        idx = np.searchsorted(t, grid, side="right") - 1
+        total += np.where(idx >= 0, v[np.clip(idx, 0, len(v) - 1)], 0.0)
+    return total
 
 
 @dataclass(frozen=True)

@@ -14,12 +14,16 @@ CLI: ``python -m repro.experiments overload [--day D --seed S]``.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple, Union
 
+from repro.experiments.executor import RunRequest, run_many
 from repro.experiments.report import FigureResult
-from repro.experiments.runner import RunResult, run_amoeba
+from repro.experiments.runner import RunResult
 from repro.experiments.scenarios import overload_scenario
 from repro.overload import OverloadPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.cache import RunCache
 
 __all__ = ["overload_sweep"]
 
@@ -39,35 +43,42 @@ def overload_sweep(
     factors: Sequence[float] = DEFAULT_FACTORS,
     policy: Optional[OverloadPolicy] = None,
     fault_scale: float = 1.0,
+    workers: Optional[int] = None,
+    cache: Union["RunCache", None, bool] = None,
 ) -> FigureResult:
-    """Sweep offered-load factors; report shed rate vs. admitted p95."""
+    """Sweep offered-load factors; report shed rate vs. admitted p95.
+
+    Each factor's protected/unprotected pair is an independent seeded
+    run, so the whole sweep fans out through
+    :func:`~repro.experiments.executor.run_many` (``workers``/``cache``
+    default to the process-wide executor configuration) and the report
+    is ``float.hex``-identical for any worker count.
+    """
     if not factors:
         raise ValueError("need at least one load factor")
     policy = policy if policy is not None else OverloadPolicy()
+    requests = []
+    for factor in factors:
+        for leg_policy in (OverloadPolicy.disabled(), policy):
+            requests.append(
+                RunRequest(
+                    system="amoeba",
+                    scenario=overload_scenario(
+                        name,
+                        lambda_factor=factor,
+                        policy=leg_policy,
+                        fault_scale=fault_scale,
+                        day=day,
+                        seed=seed,
+                    ),
+                )
+            )
+    results = run_many(requests, workers=workers, cache=cache)
     qos = None
     rows = []
     runs = {}
-    for factor in factors:
-        off = run_amoeba(
-            overload_scenario(
-                name,
-                lambda_factor=factor,
-                policy=OverloadPolicy.disabled(),
-                fault_scale=fault_scale,
-                day=day,
-                seed=seed,
-            )
-        )
-        on = run_amoeba(
-            overload_scenario(
-                name,
-                lambda_factor=factor,
-                policy=policy,
-                fault_scale=fault_scale,
-                day=day,
-                seed=seed,
-            )
-        )
+    for i, factor in enumerate(factors):
+        off, on = results[2 * i], results[2 * i + 1]
         runs[factor] = {"off": off, "on": on}
         m_on = on.services[name].metrics
         qos = m_on.qos_target

@@ -14,6 +14,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.config import AmoebaConfig
 from repro.core.runtime import AmoebaRuntime
+from repro.experiments.executor import RunRequest, run_many
 from repro.experiments.report import FigureResult
 from repro.experiments.scenarios import (
     PEAK_RATES,
@@ -21,7 +22,6 @@ from repro.experiments.scenarios import (
     ambient_pressure_traces,
     concurrency_threshold,
 )
-from repro.experiments.runner import run_nameko
 from repro.experiments.scenarios import Scenario
 from repro.workloads.ambient import AmbientTenants
 from repro.workloads.functionbench import benchmark, benchmark_names
@@ -85,23 +85,35 @@ def replace_peak(trace: DiurnalTrace, factor: float) -> DiurnalTrace:
 
 
 def portfolio_figure(day: float = 3600.0, seed: int = 0) -> FigureResult:
-    """Portfolio run summarized against per-service Nameko baselines."""
+    """Portfolio run summarized against per-service Nameko baselines.
+
+    The per-service baselines are independent seeded runs, so they fan
+    out through :func:`~repro.experiments.executor.run_many` (and share
+    the run cache with any other figure that needs them).
+    """
     rt, traces = run_portfolio(day=day, seed=seed)
-    rows = []
-    extras = {}
-    for name in traces:
-        svc = rt.services[name]
-        usage = rt.service_usage(name)
-        # per-service Nameko baseline: the same trace, held rental
-        scenario = Scenario(
-            foreground=svc.spec,
+    # per-service Nameko baselines: the same trace, held rental
+    scenarios = {
+        name: Scenario(
+            foreground=rt.services[name].spec,
             trace=traces[name],
             limit=8,
             background=(),
             duration=day,
             seed=seed,
         )
-        baseline = run_nameko(scenario).foreground(scenario).usage
+        for name in traces
+    }
+    baselines = run_many(
+        [RunRequest(system="nameko", scenario=scenarios[name]) for name in traces]
+    )
+    rows = []
+    extras = {}
+    for name, baseline_run in zip(traces, baselines):
+        svc = rt.services[name]
+        usage = rt.service_usage(name)
+        scenario = scenarios[name]
+        baseline = baseline_run.foreground(scenario).usage
         cpu_ratio, mem_ratio = usage.normalized_to(baseline)
         p95_ratio = svc.metrics.exact_percentile(95) / svc.spec.qos_target
         extras[name] = {

@@ -18,6 +18,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.pricing import CostBreakdown, PricingModel
+    from repro.serverless.config import ServerlessConfig
 
 from repro.cluster.accounting import UsageSample
 from repro.core.config import AmoebaConfig
@@ -31,7 +32,7 @@ from repro.telemetry import ServiceMetrics
 from repro.workloads.ambient import AmbientTenants
 from repro.workloads.functionbench import MicroserviceSpec
 from repro.workloads.loadgen import LoadGenerator
-from repro.experiments.metrics import FaultSummary, OverloadSummary
+from repro.experiments.metrics import FaultSummary, OverloadSummary, resample_zoh
 from repro.experiments.scenarios import Scenario
 
 __all__ = ["RunResult", "ServiceResult", "run_amoeba", "run_nameko", "run_openwhisk"]
@@ -82,25 +83,11 @@ class ServiceResult:
 
     def cpu_usage_on_grid(self, grid: np.ndarray) -> np.ndarray:
         """Total cores occupied, resampled (zero-order hold) onto ``grid``."""
-        total = np.zeros(len(grid))
-        for t, v in self.cpu_timelines:
-            if len(t) == 0:
-                continue
-            idx = np.searchsorted(t, grid, side="right") - 1
-            vals = np.where(idx >= 0, v[np.clip(idx, 0, len(v) - 1)], 0.0)
-            total += vals
-        return total
+        return resample_zoh(self.cpu_timelines, grid)
 
     def mem_usage_on_grid(self, grid: np.ndarray) -> np.ndarray:
         """Total MB occupied, resampled onto ``grid``."""
-        total = np.zeros(len(grid))
-        for t, v in self.mem_timelines:
-            if len(t) == 0:
-                continue
-            idx = np.searchsorted(t, grid, side="right") - 1
-            vals = np.where(idx >= 0, v[np.clip(idx, 0, len(v) - 1)], 0.0)
-            total += vals
-        return total
+        return resample_zoh(self.mem_timelines, grid)
 
 
 @dataclass
@@ -281,11 +268,19 @@ def run_nameko(scenario: Scenario, seed: Optional[int] = None) -> RunResult:
     return RunResult(system="nameko", duration=scenario.duration, services={spec.name: result})
 
 
-def run_openwhisk(scenario: Scenario, seed: Optional[int] = None) -> RunResult:
-    """Pure serverless baseline: everything on the shared container pool."""
+def run_openwhisk(
+    scenario: Scenario,
+    seed: Optional[int] = None,
+    config: Optional["ServerlessConfig"] = None,
+) -> RunResult:
+    """Pure serverless baseline: everything on the shared container pool.
+
+    ``config`` overrides the platform defaults (the keep-alive ablation
+    sweeps it); None keeps the standard §VII platform.
+    """
     env = Environment()
     rng = RngRegistry(seed=seed if seed is not None else scenario.seed)
-    platform = ServerlessPlatform(env, rng)
+    platform = ServerlessPlatform(env, rng, config=config)
     if scenario.ambient:
         AmbientTenants(env, platform.machine, dict(scenario.ambient), rng)
     registry: Dict[str, Tuple[MicroserviceSpec, ServiceMetrics]] = {}

@@ -1,0 +1,23 @@
+"""SIM011 corpus: unpicklable callables handed to an executor.
+
+A ProcessPoolExecutor pickles its task by qualified name; every form
+below dies at submit time on the parallel path while working fine under
+the serial (workers=1) fallback — exactly the bug class SIM011 exists to
+catch before it ships.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def sweep(requests):
+    def run_one(request):
+        return request.seed
+
+    scale = 2.0
+    run_scaled = lambda request: request.seed * scale  # noqa: E731
+
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(run_one, request) for request in requests]
+        scaled = list(pool.map(run_scaled, requests))
+        inline = pool.submit(lambda: 0)
+    return futures, scaled, inline

@@ -1,0 +1,24 @@
+"""SIM011-clean corpus: module-level callables crossing the pool boundary.
+
+``execute`` pickles by qualified name, so submitting it is fine; the
+bare builtin ``map`` stays in-process and is exempt; a lambda that never
+reaches an executor is ordinary local code.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def execute(request):
+    return request
+
+
+def fan_out(requests, workers):
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(execute, request) for request in requests]
+        return [future.result() for future in futures]
+
+
+def in_process(values):
+    # the builtin map never leaves this process: not an executor handoff
+    key = lambda v: str(v)  # noqa: E731
+    return sorted(map(str, values), key=key)

@@ -27,6 +27,7 @@ BAD_FIXTURES = {
     "SIM008": FIXTURES / "bad" / "sim" / "sim008_missing_annotation.py",
     "SIM009": FIXTURES / "bad" / "sim009_fault_prob_constant.py",
     "SIM010": FIXTURES / "bad" / "serverless" / "sim010_unbounded_queue.py",
+    "SIM011": FIXTURES / "bad" / "experiments" / "sim011_closure_submit.py",
 }
 
 GOOD_FIXTURES = [
@@ -34,6 +35,7 @@ GOOD_FIXTURES = [
     FIXTURES / "good" / "justified_ignores.py",
     FIXTURES / "good" / "fault_plan_probs.py",
     FIXTURES / "good" / "serverless" / "bounded_queues.py",
+    FIXTURES / "good" / "experiments" / "picklable_submit.py",
     FIXTURES / "allowed" / "experiments" / "__main__.py",
     FIXTURES / "allowed" / "sim" / "rng.py",
 ]
@@ -146,6 +148,30 @@ def test_unbounded_queue_is_path_scoped_to_platform_packages():
 def test_bounded_deque_in_platform_package_is_clean():
     source = "from collections import deque\n\nqueue = deque(maxlen=64)\n"
     assert lint_source(source, "src/repro/iaas/service.py") == []
+
+
+def test_executor_submission_is_path_scoped_to_experiments():
+    source = (
+        "def fan_out(pool, requests):\n"
+        "    run = lambda r: r\n"
+        "    return [pool.submit(run, r) for r in requests]\n"
+    )
+    assert lint_source(source, "src/repro/workloads/loadgen.py") == []
+    assert {v.rule_id for v in lint_source(source, "src/repro/experiments/executor.py")} == {
+        "SIM011"
+    }
+
+
+def test_module_level_def_submission_is_clean():
+    source = (
+        "def execute(request):\n"
+        "    return request\n"
+        "\n"
+        "\n"
+        "def fan_out(pool, requests):\n"
+        "    return [pool.submit(execute, r) for r in requests]\n"
+    )
+    assert lint_source(source, "src/repro/experiments/executor.py") == []
 
 
 def test_time_comparison_against_string_is_not_flagged():

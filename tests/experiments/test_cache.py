@@ -1,0 +1,143 @@
+"""The content-addressed run cache: keys, invalidation, and defensive reads.
+
+The fingerprint must distinguish exactly the inputs the simulation
+distinguishes (scenario content, seed, config fields, code salt) and
+nothing else — two separately constructed but content-equal requests
+share one entry.  Reads never trust the disk: corrupt and mismatched
+entries are discarded as misses.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import AmoebaConfig
+from repro.experiments.cache import (
+    CACHE_ENV_VAR,
+    DEFAULT_CACHE_ROOT,
+    FingerprintError,
+    RunCache,
+    code_salt,
+    fingerprint,
+)
+from repro.experiments.executor import RunRequest
+from repro.experiments.runner import run_nameko
+from repro.experiments.scenarios import default_scenario
+
+
+def _request(day=90.0, seed=0, **kwargs):
+    return RunRequest(
+        system="amoeba", scenario=default_scenario("float", day=day, seed=seed), **kwargs
+    )
+
+
+class TestFingerprint:
+    def test_content_equal_requests_share_a_key(self):
+        # two separately built scenarios with the same parameters: the
+        # noise tables inside the traces are seeded, so content matches
+        assert fingerprint(_request()) == fingerprint(_request())
+
+    def test_seed_changes_the_key(self):
+        assert fingerprint(_request(seed=0)) != fingerprint(_request(seed=1))
+
+    def test_scenario_parameter_changes_the_key(self):
+        assert fingerprint(_request(day=90.0)) != fingerprint(_request(day=120.0))
+
+    def test_config_field_changes_the_key(self):
+        base = _request(config=AmoebaConfig())
+        tweaked = _request(config=replace(AmoebaConfig(), min_dwell=45.0))
+        assert fingerprint(base) != fingerprint(tweaked)
+
+    def test_variant_and_guard_change_the_key(self):
+        keys = {
+            fingerprint(_request()),
+            fingerprint(_request(variant="nom")),
+            fingerprint(_request(guard=False)),
+        }
+        assert len(keys) == 3
+
+    def test_salt_changes_the_key(self):
+        request = _request()
+        assert fingerprint(request, salt="a") != fingerprint(request, salt="b")
+
+    def test_non_data_payload_is_rejected(self):
+        with pytest.raises(FingerprintError):
+            fingerprint({"callback": lambda: None})
+
+    def test_code_salt_is_stable_within_a_process(self):
+        assert code_salt() == code_salt()
+        assert len(code_salt()) == 64
+
+
+class TestRunCache:
+    @pytest.fixture
+    def cache(self, tmp_path):
+        # fixed salt: these tests exercise cache mechanics, not code-salt
+        # invalidation (covered below by salt-mismatch misses)
+        return RunCache(tmp_path / "cache", salt="test-salt")
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        scenario = default_scenario("float", day=90.0, seed=0)
+        return run_nameko(scenario)
+
+    def test_round_trip_hit(self, cache, result):
+        request = _request()
+        assert cache.get(request) is None
+        cache.put(request, result)
+        again = RunCache(cache.root, salt="test-salt")
+        hit = again.get(request)
+        assert hit is not None and again.hits == 1
+        ours = result.services["float"].metrics.latencies.values()
+        theirs = hit.services["float"].metrics.latencies.values()
+        assert [x.hex() for x in ours] == [x.hex() for x in theirs]
+
+    def test_salt_mismatch_is_a_miss(self, cache, result):
+        request = _request()
+        cache.put(request, result)
+        other = RunCache(cache.root, salt="other-salt")
+        assert other.get(request) is None and other.misses == 1
+
+    def test_corrupt_entry_is_discarded(self, cache, result):
+        request = _request()
+        cache.put(request, result)
+        path = cache._path(cache.key(request))
+        path.write_bytes(b"not a pickle")
+        assert cache.get(request) is None
+        assert cache.discarded == 1 and not path.exists()
+
+    def test_key_mismatched_entry_is_discarded(self, cache, result):
+        import pickle
+
+        request = _request()
+        cache.put(request, result)
+        path = cache._path(cache.key(request))
+        payload = pickle.loads(path.read_bytes())
+        payload["key"] = "0" * 64  # entry claims to be someone else
+        path.write_bytes(pickle.dumps(payload))
+        assert cache.get(request) is None and cache.discarded == 1
+
+    def test_len_counts_entries(self, cache, result):
+        assert len(cache) == 0
+        cache.put(_request(seed=0), result)
+        cache.put(_request(seed=1), result)
+        assert len(cache) == 2
+
+
+class TestFromEnv:
+    def test_unset_and_off_disable(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        assert RunCache.from_env() is None
+        for off in ("0", "off", "no", "false", ""):
+            monkeypatch.setenv(CACHE_ENV_VAR, off)
+            assert RunCache.from_env() is None
+
+    def test_on_uses_the_default_root(self, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, "1")
+        cache = RunCache.from_env()
+        assert cache is not None and cache.root == DEFAULT_CACHE_ROOT
+
+    def test_path_value_is_a_root(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "runs"))
+        cache = RunCache.from_env()
+        assert cache is not None and cache.root == tmp_path / "runs"
