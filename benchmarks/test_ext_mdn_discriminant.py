@@ -24,7 +24,7 @@ def _compare(day=2400.0, seed=0, name="matmul") -> FigureResult:
         cpu_ratio, mem_ratio = fg.usage.normalized_to(baseline)
         rows.append(
             [label, fg.metrics.violation_fraction,
-             fg.metrics.exact_percentile(95) / scenario.foreground.qos_target,
+             fg.metrics.latency_percentile(95) / scenario.foreground.qos_target,
              cpu_ratio, mem_ratio]
         )
     return FigureResult(

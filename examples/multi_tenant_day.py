@@ -34,7 +34,7 @@ def main() -> None:
           f"{'cpu vs nameko':>14}")
     for system, run in runs.items():
         fg = run.foreground(scenario)
-        p95 = fg.metrics.exact_percentile(95) / qos
+        p95 = fg.metrics.latency_percentile(95) / qos
         cpu_ratio, _ = fg.usage.normalized_to(nameko_usage)
         print(f"{system:<10} {p95:>8.3f} {fg.metrics.violation_fraction:>10.2%} "
               f"{fg.usage.mean_cores:>7.2f} {fg.usage.mean_memory_mb:>8.0f} "
@@ -48,7 +48,7 @@ def main() -> None:
     print("\nbackground services under Amoeba (the co-tenant guard protects them):")
     for bg_spec, _trace, _limit in scenario.background:
         bg = runs["amoeba"].services[bg_spec.name]
-        print(f"  {bg_spec.name:<14} p95/QoS {bg.metrics.exact_percentile(95) / bg_spec.qos_target:6.3f} "
+        print(f"  {bg_spec.name:<14} p95/QoS {bg.metrics.latency_percentile(95) / bg_spec.qos_target:6.3f} "
               f"violations {bg.metrics.violation_fraction:.2%}")
 
 

@@ -34,7 +34,7 @@ def main() -> None:
 
     m = service.metrics
     print(f"completed queries : {m.completed}")
-    print(f"95%-ile latency   : {m.exact_percentile(95) * 1000:.1f} ms "
+    print(f"95%-ile latency   : {m.latency_percentile(95) * 1000:.1f} ms "
           f"(target {spec.qos_target * 1000:.0f} ms)")
     print(f"QoS violations    : {m.violation_fraction * 100:.2f} %")
     print(f"served by         : {m.served_by}")

@@ -24,7 +24,13 @@
 #                 smokes above also route through run_many, so they
 #                 exercise whatever REPRO_WORKERS the environment sets
 #                 (CI runs the whole gate under REPRO_WORKERS=2).
-#   7. pytest   — the quick test tier (slow end-to-end benches excluded;
+#   7. queueing — large-N Erlang regression gate: Eq. 1–5 must stay
+#                 finite and reference-accurate at N in the thousands
+#                 (the log-space rewrite; DESIGN.md §11).
+#   8. fleet    — fleet smoke (DESIGN.md §11): a small fleet sweep must
+#                 be float.hex-identical across worker counts and every
+#                 member must complete queries.
+#   9. pytest   — the quick test tier (slow end-to-end benches excluded;
 #                 run `pytest` with no -m filter for the full tier).
 #
 # Usage: scripts/check.sh
@@ -107,7 +113,7 @@ ov = stormy.overload
 assert ov is not None and ov.policy_enabled
 assert sum(ov.drops.values()) > 0, "expected the overload policy to shed something"
 assert m.completed > 0, "expected surviving goodput under overload"
-p95 = m.exact_percentile(95)
+p95 = m.latency_percentile(95)
 if p95 > m.qos_target:
     raise SystemExit(f"admitted p95 {p95:.3f}s exceeds QoS {m.qos_target:g}s under overload")
 assert ov.peak_queue_depth_serverless <= policy.max_queue_depth
@@ -143,6 +149,61 @@ parallel = run_many(requests, workers=4, cache=False)
 if hexes(serial) != hexes(parallel):
     raise SystemExit("workers=4 fan-out diverged from the workers=1 serial batch")
 print("workers=4 fan-out is float.hex-identical to the serial batch")
+EOF
+
+echo "== queueing: large-N Erlang math stays finite and accurate =="
+python - <<'EOF'
+from decimal import Decimal, getcontext
+
+from repro.core.queueing import (
+    discriminant_lambda, erlang_pin, min_servers, wait_quantile,
+)
+
+getcontext().prec = 60
+
+def decimal_pin(n, rho):
+    # Eq. 1-2: pi_N = (a^N/N!) * pi_0 with the Eq. 1 normalization
+    a = Decimal(n) * Decimal(rho)
+    s = Decimal(0)
+    term = Decimal(1)
+    for k in range(1, n):
+        term = term * a / k
+        s += term
+    t_n = term * a / n
+    return float(t_n / (1 + s + t_n / (1 - Decimal(rho))))
+
+for n in (700, 2000, 5000):
+    got, want = erlang_pin(n, 0.95), decimal_pin(n, 0.95)
+    rel = abs(got - want) / want
+    if rel > 1e-10:
+        raise SystemExit(f"erlang_pin({n}, 0.95) off by {rel:.2e} vs Decimal reference")
+# the ISSUE 6 repros: both used to raise `math domain error`
+assert erlang_pin(1000, 0.95) > 0.0
+assert wait_quantile(0.95, 1900.0, 1.0, 2000) == 0.0  # P{W>0} < 5%: inside QoS
+assert discriminant_lambda(1.0, 2000, 1.2) > 0.0
+assert min_servers(1900.0, 1.0, 1.2, 0.95, n_cap=4096) >= 1900
+print("large-N Erlang gate: Eq. 1-5 finite and within 1e-10 of the Decimal reference")
+EOF
+
+echo "== fleet: sweep smoke, worker-count invariant =="
+python - <<'EOF'
+from repro.experiments.fleet import fleet_sweep
+
+def hexes(figure):
+    return [
+        [x.hex() if isinstance(x, float) else x for x in row]
+        for row in figure.extras["per_service"]
+    ]
+
+serial = fleet_sweep(services=5, daily_queries=2.5e5, day=120.0, seed=0,
+                     workers=1, cache=False)
+fanned = fleet_sweep(services=5, daily_queries=2.5e5, day=120.0, seed=0,
+                     workers=2, cache=False)
+if hexes(serial) != hexes(fanned):
+    raise SystemExit("fleet sweep diverged between workers=1 and workers=2")
+assert all(row[2] > 0 for row in serial.extras["per_service"]), "a fleet member completed nothing"
+print(f"fleet smoke: {serial.extras['total_completed']} completions, "
+      "workers=2 float.hex-identical to serial")
 EOF
 
 echo "== pytest: quick tier =="

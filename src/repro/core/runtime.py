@@ -167,6 +167,7 @@ class AmoebaRuntime:
         guard_enabled: bool = True,
         limit: Optional[int] = None,
         sizing_rate: Optional[float] = None,
+        reservoir: Optional[int] = None,
     ) -> ManagedService:
         """Put one microservice under Amoeba management.
 
@@ -176,10 +177,16 @@ class AmoebaRuntime:
         §III step 1.  ``sizing_rate`` overrides the rate the rental is
         sized for — overload scenarios size for the *nominal* peak while
         driving the trace past it, so the excess is genuinely excess.
+        ``reservoir`` overrides the latency-reservoir capacity so QoS
+        gates stay exact for scenarios expecting more than the default
+        20k completions.
         """
         if spec.name in self.services or spec.name in self.background:
             raise ValueError(f"service {spec.name!r} already added")
-        metrics = ServiceMetrics(spec.name, spec.qos_target)
+        if reservoir is not None:
+            metrics = ServiceMetrics(spec.name, spec.qos_target, reservoir=reservoir)
+        else:
+            metrics = ServiceMetrics(spec.name, spec.qos_target)
         sizing = size_service(
             spec,
             sizing_rate if sizing_rate is not None else trace.peak_rate,

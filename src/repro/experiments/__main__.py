@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments fig11
     python -m repro.experiments fig12 --day 2400 --seed 3
     python -m repro.experiments chaos --workers 4
+    python -m repro.experiments fleet --services 100 --workers 4
     python -m repro.experiments all          # everything (slow)
 
 Each target prints the regenerated table; heavy diurnal runs are cached
@@ -48,6 +49,12 @@ def _overload(**kw):
 
     return overload_sweep(**kw)
 
+
+def _fleet(**kw):
+    from repro.experiments.fleet import fleet_sweep
+
+    return fleet_sweep(**kw)
+
 #: target name -> (callable, accepts day/seed kwargs)
 TARGETS = {
     "table2": (lambda **kw: F.table2_setup(), False),
@@ -73,6 +80,7 @@ TARGETS = {
     "abl-keepalive": (A.ablate_keep_alive, True),
     "chaos": (_chaos, True),
     "overload": (_overload, True),
+    "fleet": (_fleet, True),
 }
 
 
@@ -82,9 +90,16 @@ def main(argv=None) -> int:
         description="regenerate the paper's tables and figures",
     )
     parser.add_argument("target", help="figure id, 'list', or 'all'")
-    parser.add_argument("--day", type=float, default=F.FIG_DAY,
-                        help="compressed-day length in simulated seconds")
+    parser.add_argument("--day", type=float, default=None,
+                        help="compressed-day length in simulated seconds "
+                        f"(default {F.FIG_DAY:g}; fleet defaults to its own "
+                        "shorter day)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--services", type=int, default=100,
+                        help="fleet size (fleet target only)")
+    parser.add_argument("--daily-queries", type=float, default=5_000_000.0,
+                        help="aggregate fleet volume, queries/day (fleet "
+                        "target only)")
     parser.add_argument("--export", metavar="DIR", default=None,
                         help="also write <target>.csv and <target>.json to DIR")
     parser.add_argument("--workers", type=int, default=None,
@@ -122,7 +137,14 @@ def main(argv=None) -> int:
         t0 = time.time()
         kwargs = {"seed": args.seed}
         if takes_day:
-            kwargs["day"] = args.day
+            if args.day is not None:
+                kwargs["day"] = args.day
+            elif name != "fleet":
+                kwargs["day"] = F.FIG_DAY
+            # fleet without --day uses its own FLEET_DAY default
+        if name == "fleet":
+            kwargs["services"] = args.services
+            kwargs["daily_queries"] = args.daily_queries
         result = fn(**kwargs)
         print(result.text())
         if args.export:

@@ -72,7 +72,7 @@ def ablate_guard(name: str = "matmul", day: float = 3600.0, seed: int = 0) -> Fi
                 label,
                 fg.metrics.violation_fraction,
                 vuln.violation_fraction,
-                vuln.exact_percentile(95) / vulnerable_spec.qos_target,
+                vuln.latency_percentile(95) / vulnerable_spec.qos_target,
                 len(fg.switch_events),
             ]
         )

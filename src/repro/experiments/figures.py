@@ -290,7 +290,7 @@ def fig10_latency_cdf(day: float = FIG_DAY, seed: int = 0) -> FigureResult:
             fg = results[system].foreground(scenario)
             lat = fg.metrics.latencies.values()
             x, f = latency_cdf(lat, scenario.foreground.qos_target)
-            p95_ratio = fg.metrics.exact_percentile(95) / scenario.foreground.qos_target
+            p95_ratio = fg.metrics.latency_percentile(95) / scenario.foreground.qos_target
             per_system[system] = {
                 "cdf": (x, f),
                 "p95_ratio": p95_ratio,

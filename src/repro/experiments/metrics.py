@@ -145,7 +145,17 @@ def _probe_ok(
     metrics = build_and_run(rate)
     if metrics.completed < 50:
         return False
-    return metrics.exact_percentile(100 * r_ile) <= qos_target
+    if not metrics.latency_sample_exact:
+        # the gate treats this percentile as exact; a silently-degraded
+        # reservoir estimate here would make the search irreproducible
+        # across reservoir sizes
+        raise ValueError(
+            f"{metrics.service}: QoS gate needs the exact percentile but the "
+            f"latency reservoir overflowed ({metrics.latency_sample_coverage[0]} "
+            f"completions > capacity {metrics.latency_sample_coverage[1]}); "
+            "size the scenario reservoir above the expected completion count"
+        )
+    return metrics.latency_percentile(100 * r_ile) <= qos_target
 
 
 def peak_load_search(
@@ -179,6 +189,17 @@ def peak_load_search(
     return good
 
 
+def _probe_reservoir(rate: float, duration: float) -> int:
+    """Reservoir capacity guaranteed to hold every probe completion.
+
+    The peak-load gate reads an *exact* percentile (``_probe_ok`` raises
+    otherwise), so probes size the reservoir from the offered work with
+    double headroom over the Poisson mean rather than trusting the 20k
+    default.
+    """
+    return max(20_000, int(2.0 * rate * duration) + 1000)
+
+
 def peak_load_iaas(
     spec: MicroserviceSpec,
     sized_for: float,
@@ -192,7 +213,7 @@ def peak_load_iaas(
         env = Environment()
         rng = RngRegistry(seed=seed)
         platform = IaaSPlatform(env, rng, contention=contention)
-        metrics = ServiceMetrics(spec.name, spec.qos_target)
+        metrics = ServiceMetrics(spec.name, spec.qos_target, reservoir=_probe_reservoir(rate, duration))
         platform.deploy(spec, peak_rate=sized_for, metrics=metrics)
         LoadGenerator(env, spec.name, ConstantTrace(rate), platform.invoke, rng)
         env.run(until=duration)
@@ -242,7 +263,9 @@ def peak_load_serverless(
             bg_metrics = ServiceMetrics(bg_spec.name, bg_spec.qos_target)
             platform.register(bg_spec, metrics=bg_metrics, limit=bg_limit)
             LoadGenerator(env, bg_spec.name, ConstantTrace(bg_rate), platform.invoke, rng)
-        metrics = ServiceMetrics(spec.name, spec.qos_target, seed=seed)
+        metrics = ServiceMetrics(
+            spec.name, spec.qos_target, reservoir=_probe_reservoir(rate, duration), seed=seed
+        )
         platform.register(spec, metrics=metrics, limit=limit)
         # pre-warm the allowance so the probe measures steady state, not
         # the cold-start transient

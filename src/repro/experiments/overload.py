@@ -33,7 +33,7 @@ DEFAULT_FACTORS: Tuple[float, ...] = (1.0, 2.0, 3.0)
 
 
 def _fg_p95(result: RunResult, name: str) -> float:
-    return result.services[name].metrics.exact_percentile(95)
+    return result.services[name].metrics.latency_percentile(95)
 
 
 def overload_sweep(

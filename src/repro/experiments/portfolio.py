@@ -115,7 +115,7 @@ def portfolio_figure(day: float = 3600.0, seed: int = 0) -> FigureResult:
         scenario = scenarios[name]
         baseline = baseline_run.foreground(scenario).usage
         cpu_ratio, mem_ratio = usage.normalized_to(baseline)
-        p95_ratio = svc.metrics.exact_percentile(95) / svc.spec.qos_target
+        p95_ratio = svc.metrics.latency_percentile(95) / svc.spec.qos_target
         extras[name] = {
             "cpu_ratio": cpu_ratio,
             "mem_ratio": mem_ratio,

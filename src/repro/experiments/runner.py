@@ -110,6 +110,13 @@ class RunResult:
         return self.services[scenario.foreground.name]
 
 
+def _scenario_metrics(spec: MicroserviceSpec, scenario: Scenario) -> ServiceMetrics:
+    """Per-service metrics honouring the scenario's reservoir sizing."""
+    if scenario.reservoir is not None:
+        return ServiceMetrics(spec.name, spec.qos_target, reservoir=scenario.reservoir)
+    return ServiceMetrics(spec.name, spec.qos_target)
+
+
 def _ledger_timeline(ledger) -> Tuple[Tuple[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]]:
     cpu = (ledger.cpu_timeline.times(), ledger.cpu_timeline.values())
     mem = (ledger.mem_timeline.times(), ledger.mem_timeline.values())
@@ -153,6 +160,7 @@ def run_amoeba(
         guard_enabled=guard,
         limit=scenario.limit,
         sizing_rate=scenario.iaas_peak_rate,
+        reservoir=scenario.reservoir,
     )
     rt.run(until=scenario.duration)
 
@@ -251,7 +259,7 @@ def run_nameko(scenario: Scenario, seed: Optional[int] = None) -> RunResult:
     rng = RngRegistry(seed=seed if seed is not None else scenario.seed)
     platform = IaaSPlatform(env, rng)
     spec = scenario.foreground
-    metrics = ServiceMetrics(spec.name, spec.qos_target)
+    metrics = _scenario_metrics(spec, scenario)
     svc = platform.deploy(spec, peak_rate=scenario.trace.peak_rate, metrics=metrics)
     LoadGenerator(env, spec.name, scenario.trace, platform.invoke, rng)
     env.run(until=scenario.duration)
@@ -286,7 +294,7 @@ def run_openwhisk(
     registry: Dict[str, Tuple[MicroserviceSpec, ServiceMetrics]] = {}
 
     def add(spec: MicroserviceSpec, trace, limit):
-        metrics = ServiceMetrics(spec.name, spec.qos_target)
+        metrics = _scenario_metrics(spec, scenario)
         platform.register(spec, metrics=metrics, limit=limit)
         LoadGenerator(env, spec.name, trace, platform.invoke, rng)
         registry[spec.name] = (spec, metrics)

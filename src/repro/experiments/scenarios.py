@@ -50,6 +50,7 @@ __all__ = [
     "concurrency_threshold",
     "default_scenario",
     "overload_scenario",
+    "sized_reservoir",
 ]
 
 #: foreground peak rates (queries/s) per benchmark — "high enough to
@@ -79,6 +80,21 @@ SERVERLESS_FRACTIONS: Dict[str, float] = {
 
 #: compressed day length in simulated seconds
 DEFAULT_DAY = 7200.0
+
+
+def sized_reservoir(trace: Trace, duration: float, safety: float = 2.0) -> int:
+    """Latency-reservoir capacity covering a trace's expected completions.
+
+    ``ServiceMetrics.latency_percentile`` is exact only while the
+    reservoir holds every completion; scenarios whose traces offer more
+    than the 20k default (overload sweeps, the fleet family) size it from
+    the expected query count with ``safety``× Poisson headroom so QoS
+    gates never silently degrade to a subsample estimate.
+    """
+    if duration <= 0 or safety < 1.0:
+        raise ValueError("duration must be positive and safety >= 1")
+    expected = trace.mean_rate(0.0, duration) * duration
+    return max(20_000, int(safety * expected) + 1000)
 
 
 def concurrency_threshold(
@@ -190,6 +206,13 @@ class Scenario:
     #: Overload scenarios pin this to the *nominal* peak while the trace
     #: drives past it, so the excess load is genuinely excess.
     iaas_peak_rate: Optional[float] = None
+    #: latency-reservoir capacity per service; None = the ServiceMetrics
+    #: default (20000).  QoS gates read exact percentiles only while the
+    #: completion count stays within this capacity
+    #: (``ServiceMetrics.latency_sample_exact``), so scenarios expecting
+    #: more completions — the fleet family sizes this from the trace's
+    #: expected query count — must say so here.
+    reservoir: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -198,6 +221,8 @@ class Scenario:
             raise ValueError(f"limit must be >= 1, got {self.limit}")
         if self.iaas_peak_rate is not None and self.iaas_peak_rate <= 0:
             raise ValueError(f"iaas_peak_rate must be positive, got {self.iaas_peak_rate}")
+        if self.reservoir is not None and self.reservoir < 1:
+            raise ValueError(f"reservoir must be >= 1, got {self.reservoir}")
 
     def mean_ambient_pressures(self) -> Tuple[float, float, float]:
         """Time-averaged ambient pressure per axis over the run."""
@@ -308,4 +333,7 @@ def overload_scenario(
         faults=DEFAULT_CHAOS_PLAN.scaled(fault_scale),
         overload=policy,
         iaas_peak_rate=nominal_peak,
+        # deep-overload traces offer well past the 20k default; keep the
+        # sweep's reported p95 an exact order statistic
+        reservoir=sized_reservoir(trace, duration if duration is not None else day),
     )

@@ -13,8 +13,9 @@ States:
                   is retried or dropped by the pool's fault policy)
 
 The pool drives transitions; the container only owns its identity,
-timestamps and a handle on its pending keep-alive reap event so the pool
-can cancel the reap outright when the container is re-used.
+timestamps and its keep-alive deadline (``reap_at``).  Expiry is enforced
+by the pool's single per-function reaper timer, so parking or re-using a
+container never touches the event heap.
 """
 
 from __future__ import annotations
@@ -24,7 +25,6 @@ import itertools
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.events import Event
     from repro.workloads.functionbench import MicroserviceSpec
 
 __all__ = ["Container", "ContainerState"]
@@ -45,7 +45,7 @@ class ContainerState(enum.Enum):
 class Container:
     """One single-concurrency container bound to a function."""
 
-    __slots__ = ("cid", "spec", "state", "created_at", "warm_since", "invocations", "reap_event", "prewarmed")
+    __slots__ = ("cid", "spec", "state", "created_at", "warm_since", "invocations", "reap_at", "prewarmed")
 
     def __init__(self, spec: "MicroserviceSpec", created_at: float, prewarmed: bool = False) -> None:
         self.cid = next(_ids)
@@ -54,9 +54,10 @@ class Container:
         self.created_at = created_at
         self.warm_since: Optional[float] = None
         self.invocations = 0
-        #: the pending keep-alive reap event while IDLE; the pool cancels
-        #: it when the container is re-used (no stale timers in the heap)
-        self.reap_event: Optional["Event"] = None
+        #: sim time this container expires while IDLE; meaningful only
+        #: while parked in the pool's idle deque (park order == deadline
+        #: order, which is what lets one timer cover the whole function)
+        self.reap_at: float = 0.0
         #: True if created by the prewarm module (Fig. 16 accounting)
         self.prewarmed = prewarmed
 

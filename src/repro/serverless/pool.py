@@ -16,6 +16,7 @@ effects the contention monitor exists to capture.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Iterator, Optional, Tuple
@@ -71,6 +72,11 @@ class FunctionState:
     peak_queue_depth: int = 0
     #: events fired when an in-flight cold start turns warm (prewarm acks)
     _ready_events: Deque[Event] = field(default_factory=deque)
+    #: the single armed keep-alive reaper timer (None when disarmed) and
+    #: the deadline it is armed for — one timer per function, not one per
+    #: idle container (see ContainerPool._arm_reaper)
+    _reap_timer: Optional[Event] = None
+    _reap_deadline: float = math.inf
     #: cached per-function RNG samplers (built at registration; stream
     #: identity is name-keyed, so caching changes no draw sequence)
     _warm_draw: Optional[Callable[[], float]] = None
@@ -296,7 +302,7 @@ class ContainerPool:
         return fs.keep_alive if fs.keep_alive is not None else self.config.keep_alive
 
     def _idle(self, fs: FunctionState, container: Container) -> None:
-        """Park a container as warm-idle and arm its keep-alive reaper."""
+        """Park a container as warm-idle under the function's reaper."""
         keep_alive = self._keep_alive_of(fs)
         if keep_alive <= 0.0 and container.invocations > 0:
             # warm reuse disabled: tear the container down right away
@@ -304,18 +310,44 @@ class ContainerPool:
             return
         container.state = ContainerState.IDLE
         container.warm_since = self.env.now
+        container.reap_at = self.env.now + max(keep_alive, 1e-3)
         fs.idle.append(container)
-        # true cancellation replaces the old generation-token guard: the
-        # reap event is cancelled outright when the container is re-used,
-        # so the heap never accumulates stale keep-alive timers
-        container.reap_event = self.env.schedule_callback(
-            max(keep_alive, 1e-3), lambda: self._reap(fs, container)
+        self._arm_reaper(fs)
+
+    def _arm_reaper(self, fs: FunctionState) -> None:
+        """Keep exactly one keep-alive timer per function.
+
+        Containers are parked in arrival order with a fixed lifetime, so
+        ``fs.idle`` is always sorted by ``reap_at`` and one timer armed
+        at the *front* deadline covers every idle container.  Parking
+        while a timer is already armed costs nothing (the armed deadline
+        can only be earlier), and warm reuse never needs to cancel —
+        a firing that finds nothing expired simply re-arms.  At fleet
+        scale this turns two heap operations per warm reuse into zero.
+        """
+        if not fs.idle:
+            return
+        front = fs.idle[0].reap_at
+        if fs._reap_timer is not None and fs._reap_deadline <= front:
+            return
+        # an armed-later timer cannot happen (deadlines are monotone and
+        # the front only moves forward), so arming here means no timer
+        fs._reap_deadline = front
+        # the 1e-9 floor guards re-arms whose float-rounded delay would
+        # land an ulp short of the deadline and spin
+        fs._reap_timer = self.env.schedule_callback(
+            max(front - self.env.now, 1e-9), lambda: self._reap_due(fs)
         )
 
-    def _reap(self, fs: FunctionState, container: Container) -> None:
-        container.reap_event = None
-        fs.idle.remove(container)
-        self._retire(fs, container)
+    def _reap_due(self, fs: FunctionState) -> None:
+        """Retire every idle container whose keep-alive has expired."""
+        fs._reap_timer = None
+        fs._reap_deadline = math.inf
+        now = self.env.now
+        idle = fs.idle
+        while idle and idle[0].reap_at <= now:
+            self._retire(fs, idle.popleft())
+        self._arm_reaper(fs)
 
     def _assign(
         self,
@@ -326,10 +358,8 @@ class ContainerPool:
         fresh_cold: bool = False,
     ) -> None:
         container.state = ContainerState.BUSY
-        reap = container.reap_event
-        if reap is not None:
-            container.reap_event = None
-            reap.cancel()
+        # no reap timer to cancel: the per-function reaper skips
+        # containers that are no longer parked in the idle deque
         fs.n_busy += 1
         wait = self.env.now - t_enqueue
         if fresh_cold:

@@ -14,9 +14,11 @@ A triggered-but-unprocessed event can additionally be :meth:`~Event.cancel`-led:
 its heap entry stays where it is, but the environment discards it on pop
 (or during an amortized compaction) without advancing the clock or running
 callbacks.  This is the kernel's true event-cancellation path — schedulers
-that re-plan (the contention engine's completion timer, the container
-pool's keep-alive reaper) cancel their obsolete timer instead of leaving a
-generation-guarded stale callback to fire as a no-op.
+that re-plan (the contention engine's completion timer) cancel their
+obsolete timer instead of leaving a generation-guarded stale callback to
+fire as a no-op.  (The container pool goes one step further: its
+per-function keep-alive reaper batches all idle-container deadlines into
+one timer that never needs cancelling at all.)
 """
 
 from __future__ import annotations

@@ -11,7 +11,7 @@ the same bookkeeping regardless of deployment mode.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -187,8 +187,30 @@ class ServiceMetrics:
         """Streaming 95%-ile latency estimate."""
         return self.p95.value
 
-    def exact_percentile(self, p: float) -> float:
-        """Percentile from the latency reservoir (p in [0, 100])."""
+    @property
+    def latency_sample_exact(self) -> bool:
+        """True while the reservoir still holds *every* completion latency.
+
+        Once ``completed`` exceeds the reservoir capacity the sample
+        becomes a uniform subsample and percentiles are estimates.
+        """
+        return self.latencies.n <= self.latencies.capacity
+
+    @property
+    def latency_sample_coverage(self) -> Tuple[int, int]:
+        """(latencies observed, reservoir capacity) — the honesty gauge."""
+        return self.latencies.n, self.latencies.capacity
+
+    def latency_percentile(self, p: float) -> float:
+        """Percentile of completion latency from the reservoir (p in [0, 100]).
+
+        Exact while ``latency_sample_exact`` holds; beyond the reservoir
+        capacity it degrades to a *deterministic* (seeded) uniform
+        subsample estimate — reproducible run-to-run, but no longer the
+        exact order statistic.  Size the reservoir above the expected
+        completion count (see ``Scenario.reservoir``) when a QoS gate
+        needs the exact value.  (Formerly misnamed ``exact_percentile``.)
+        """
         return self.latencies.percentile(p)
 
     def breakdown_fractions(self) -> Dict[str, float]:

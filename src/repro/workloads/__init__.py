@@ -10,6 +10,9 @@
   evaluation with.
 * :mod:`repro.workloads.loadgen` — an open-loop, non-homogeneous Poisson
   query generator that submits queries against any deployment's router.
+* :mod:`repro.workloads.fleet` — the deterministic fleet generator:
+  hundreds of heterogeneous, phase-offset diurnal services whose mean
+  rates are normalized to an aggregate queries-per-day volume.
 """
 
 from repro.workloads.functionbench import (

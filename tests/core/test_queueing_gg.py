@@ -84,3 +84,19 @@ def test_mdn_matches_near_deterministic_simulation():
     mdn_q95 = wait_quantile_gg(0.95, lam, mu, n, cs2=0.0)
     # M/M/N overshoots near-deterministic reality; the correction is closer
     assert abs(mdn_q95 - sim_q95) < abs(mmn_q95 - sim_q95)
+
+
+class TestGGLargeN:
+    """The controller's mdn discriminant at fleet-scale container counts."""
+
+    @pytest.mark.parametrize("n", [700, 2000, 100_000])
+    def test_max_arrival_rate_gg_finite_at_scale(self, n):
+        lam = max_arrival_rate_gg(1.0, n, qos=1.5, cs2=0.0)
+        assert 0.0 < lam < n * 1.0
+        assert qos_satisfied_gg(lam * 0.999, 1.0, n, 1.5, cs2=0.0)
+
+    def test_gg_ceiling_at_least_mmn_ceiling(self):
+        # deterministic service halves the predicted wait, so the
+        # admissible rate can only go up
+        for n in (700, 2000):
+            assert max_arrival_rate_gg(1.0, n, 1.5, cs2=0.0) >= max_arrival_rate(1.0, n, 1.5)

@@ -81,7 +81,7 @@ def test_full_diurnal_run_meets_qos():
     rt.run(until=1800.0)
     m = svc.metrics
     assert m.completed > 5000
-    assert m.exact_percentile(95) <= svc.spec.qos_target
+    assert m.latency_percentile(95) <= svc.spec.qos_target
     usage = rt.service_usage("float")
     # strictly less than holding the whole rental all day
     full_rental = svc.iaas.sizing.rented_cores
@@ -95,7 +95,7 @@ def test_deterministic_given_seed():
         rt.run(until=200.0)
         return (
             svc.metrics.completed,
-            svc.metrics.exact_percentile(95),
+            svc.metrics.latency_percentile(95),
             len(svc.engine.switch_events),
         )
 

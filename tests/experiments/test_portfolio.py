@@ -33,7 +33,7 @@ def test_two_service_portfolio_shares_one_platform():
     assert {"float", "dd"}.issubset(registered)
     for name, svc in rt.services.items():
         assert svc.metrics.completed > 200, name
-        assert svc.metrics.exact_percentile(95) <= svc.spec.qos_target * 1.1, name
+        assert svc.metrics.latency_percentile(95) <= svc.spec.qos_target * 1.1, name
 
 
 def test_portfolio_phases_staggered():

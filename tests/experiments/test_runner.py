@@ -78,7 +78,7 @@ class TestNamekoRun:
 
     def test_meets_qos(self, nameko_run):
         fg = nameko_run.foreground(SCENARIO)
-        assert fg.metrics.exact_percentile(95) <= SCENARIO.foreground.qos_target
+        assert fg.metrics.latency_percentile(95) <= SCENARIO.foreground.qos_target
 
 
 class TestOpenwhiskRun:
@@ -109,4 +109,4 @@ class TestCrossSystem:
         cpu_ratio, mem_ratio = fa.usage.normalized_to(fn.usage)
         assert cpu_ratio < 1.0
         assert mem_ratio < 1.0
-        assert fa.metrics.exact_percentile(95) <= SCENARIO.foreground.qos_target * 1.05
+        assert fa.metrics.latency_percentile(95) <= SCENARIO.foreground.qos_target * 1.05

@@ -1,5 +1,7 @@
 """The M/M/N admission predictor: conditional wait and deadline checks."""
 
+import math
+
 import pytest
 
 from repro.overload import conditional_wait, meets_deadline, predicted_sojourn
@@ -61,3 +63,31 @@ class TestMeetsDeadline:
             meets_deadline(0, 0, 1, 1.0, qos_target=0.0)
         with pytest.raises(ValueError):
             meets_deadline(0, 0, 1, 1.0, qos_target=1.0, slack=0.0)
+
+
+class TestFleetScaleAdmission:
+    """Large-N edge cases exposed by the log-space Eq. 1 fix.
+
+    Admission runs in the runtime hot path; at fleet scale it sees
+    server counts in the tens of thousands and backlogs in the millions.
+    These must stay finite, monotone and try/except-free.
+    """
+
+    def test_wait_finite_at_fleet_scale(self):
+        w = conditional_wait(queued=1_000_000, busy=100_000, servers=100_000, mu=1.0)
+        assert math.isfinite(w)
+        assert w == pytest.approx(1_000_001 / 100_000)
+
+    def test_wait_monotone_in_servers_at_scale(self):
+        waits = [
+            conditional_wait(queued=50_000, busy=n, servers=n, mu=2.0)
+            for n in (1_000, 10_000, 100_000)
+        ]
+        assert waits == sorted(waits, reverse=True)
+
+    def test_meets_deadline_large_n_both_sides(self):
+        n = 100_000
+        # tiny backlog relative to drain rate: admitted
+        assert meets_deadline(queued=100, busy=n, servers=n, mu=1.0, qos_target=1.5)
+        # backlog worth ~10 service times: rejected
+        assert not meets_deadline(queued=10 * n, busy=n, servers=n, mu=1.0, qos_target=1.5)

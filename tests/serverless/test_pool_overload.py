@@ -174,7 +174,7 @@ class TestOpenLoopOverloadBaseline:
         assert metrics.completed > 0
         assert metrics.completed + fs.n_busy + len(fs.queue) == offered
         assert 0.0 <= metrics.violation_fraction <= 1.0
-        p95 = metrics.exact_percentile(95)
+        p95 = metrics.latency_percentile(95)
         assert p95 == p95 and p95 > 0.0  # finite, not NaN
         assert metrics.failed == 0  # nothing dropped without a policy
 

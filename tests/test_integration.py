@@ -35,7 +35,7 @@ class TestBurstReaction:
         assert "iaas" in directions
         assert svc.engine.mode is DeployMode.SERVERLESS  # recovered
         # QoS held throughout (the IaaS rental absorbs the burst)
-        assert svc.metrics.exact_percentile(95) <= svc.spec.qos_target
+        assert svc.metrics.latency_percentile(95) <= svc.spec.qos_target
 
     def test_switch_out_happens_during_burst_window(self):
         trace = BurstTrace(ConstantTrace(3.0), [(400.0, 500.0, 22.0)])
@@ -65,7 +65,7 @@ class TestGuardProtection:
         if svc.engine.mode is DeployMode.SERVERLESS:
             # if it did switch, the background tenant must still be fine
             bg = rt.background["matmul"].metrics
-            assert bg.exact_percentile(95) <= benchmark("matmul").qos_target * 1.1
+            assert bg.latency_percentile(95) <= benchmark("matmul").qos_target * 1.1
         else:
             assert blocked or not allowed
 
@@ -120,7 +120,7 @@ class TestDeterminismAcrossSubsystems:
             rt.run(until=600.0)
             return (
                 svc.metrics.completed,
-                round(svc.metrics.exact_percentile(95), 12),
+                round(svc.metrics.latency_percentile(95), 12),
                 tuple(round(t, 9) for t, _d, _l in svc.engine.switch_events),
                 round(rt.service_usage("float").cpu_core_seconds, 9),
             )

@@ -110,10 +110,59 @@ class TestServiceMetrics:
         m = ServiceMetrics("s", qos_target=100.0)
         for i in range(2000):
             m.record_completion(make_query(float(i % 100) / 100.0))
-        assert m.p95_estimate == pytest.approx(m.exact_percentile(95), rel=0.1)
+        assert m.p95_estimate == pytest.approx(m.latency_percentile(95), rel=0.1)
 
     def test_arrival_recording(self):
         m = ServiceMetrics("s", qos_target=1.0)
         m.record_arrival(0.0)
         m.record_arrival(1.0, canary=True)  # excluded from load
         assert m.load.total == 1
+
+
+class TestLatencyPercentileHonesty:
+    """Both sides of the reservoir capacity boundary, explicitly.
+
+    ``latency_percentile`` is exact only while every completion is still
+    in the reservoir; past capacity it becomes a deterministic seeded
+    subsample estimate.  QoS gates (experiments/metrics.py) read
+    ``latency_sample_exact`` to know which regime they are in.
+    """
+
+    def test_exact_below_capacity(self):
+        m = ServiceMetrics("s", qos_target=100.0, reservoir=500)
+        lats = [float(i) for i in range(400)]
+        for lat in lats:
+            m.record_completion(make_query(lat))
+        assert m.latency_sample_exact
+        assert m.latency_sample_coverage == (400, 500)
+        import numpy as np
+
+        assert m.latency_percentile(95) == pytest.approx(float(np.percentile(lats, 95)))
+
+    def test_exact_at_capacity_boundary(self):
+        m = ServiceMetrics("s", qos_target=100.0, reservoir=100)
+        for i in range(100):
+            m.record_completion(make_query(float(i)))
+        assert m.latency_sample_exact  # n == capacity: still exhaustive
+        m.record_completion(make_query(100.0))
+        assert not m.latency_sample_exact  # one past: now a subsample
+        assert m.latency_sample_coverage == (101, 100)
+
+    def test_estimate_past_capacity_is_deterministic(self):
+        def run():
+            m = ServiceMetrics("s", qos_target=100.0, reservoir=50)
+            for i in range(5000):
+                m.record_completion(make_query(float(i % 1000)))
+            return m.latency_percentile(95)
+
+        a, b = run(), run()
+        assert not math.isnan(a)
+        assert a.hex() == b.hex()  # seeded reservoir: bit-identical reruns
+
+    def test_sized_reservoir_keeps_gate_exact(self):
+        # the fleet family sizes reservoirs from expected completions so
+        # the QoS gate never silently degrades
+        m = ServiceMetrics("s", qos_target=100.0, reservoir=10_000)
+        for i in range(6000):
+            m.record_completion(make_query(float(i)))
+        assert m.latency_sample_exact
