@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
 # The single development gate: every PR must pass this locally and in CI.
 #
-#   1. simlint  — the repo's own AST linter for sim-kernel invariants
-#                 (SIM001..SIM011, see DESIGN.md §7).  Always runs; pure
-#                 stdlib, so there is no environment where it can't.
+#   1. simlint  — the repo's own whole-program analyzer: sim-kernel
+#                 invariants SIM001..SIM016 plus the ARCH001..ARCH004
+#                 import-graph layering rules (DESIGN.md §7 and §12)
+#                 over src/ + tests/ + benchmarks/, with stale-ignore
+#                 auditing (--strict-ignores), the committed baseline
+#                 (simlint-baseline.json), a SARIF artifact
+#                 (simlint.sarif), and a cold/warm incremental-cache
+#                 guard: the warm re-lint must be >= 5x faster than the
+#                 cold run.  Always runs; pure stdlib, so there is no
+#                 environment where it can't.
 #   2. mypy     — strict typing on repro.sim / repro.core /
 #                 repro.serverless / repro.overload (config in
 #                 pyproject.toml).  Skipped with a warning when mypy is
@@ -39,8 +46,46 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== simlint: simulation-kernel invariants =="
-python -m repro.analysis.lint src
+echo "== simlint: whole-program invariants + architecture =="
+python - <<'EOF'
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis.lint import main
+
+TARGETS = ["src", "tests", "benchmarks"]
+FLAGS = ["--strict-ignores", "--baseline", "simlint-baseline.json"]
+
+# the gating run: persistent cache (CI restores it), SARIF artifact,
+# per-rule summary table
+rc = main(
+    TARGETS + FLAGS
+    + ["--cache", ".simlint_cache.json", "--stats",
+       "--format", "sarif", "--output", "simlint.sarif"]
+)
+if rc != 0:
+    raise SystemExit(rc)
+
+# the incremental-cache guard: a genuinely cold run against a throwaway
+# cache, then a warm re-run, which must be >= 5x faster
+with tempfile.TemporaryDirectory() as tmp:
+    scratch = str(Path(tmp) / "cache.json")
+    t0 = time.perf_counter()
+    cold_rc = main(TARGETS + FLAGS + ["--cache", scratch])
+    t1 = time.perf_counter()
+    warm_rc = main(TARGETS + FLAGS + ["--cache", scratch])
+    t2 = time.perf_counter()
+cold, warm = t1 - t0, t2 - t1
+print(f"simlint: cold {cold:.3f}s, warm {warm:.3f}s ({cold / warm:.1f}x)")
+if cold_rc != 0 or warm_rc != 0:
+    raise SystemExit(cold_rc or warm_rc)
+if warm * 5 > cold:
+    raise SystemExit(
+        f"incremental cache regression: warm re-lint {warm:.3f}s is not "
+        f">=5x faster than the cold run {cold:.3f}s"
+    )
+EOF
 
 echo "== mypy: strict typing gate =="
 if python -c "import mypy" >/dev/null 2>&1; then

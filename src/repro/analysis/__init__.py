@@ -6,15 +6,27 @@ stray wall-clock read, one unseeded RNG, or one float-equality test on
 simulated time silently breaks it, and the QoS/capacity numbers derived
 from the discriminant function (paper Eqs. 5-7) stop being reproducible.
 
-``repro.analysis`` encodes those invariants as machine-checked lint rules
-(``SIM001`` ... ``SIM008``) over the Python AST:
+``repro.analysis`` encodes those invariants as machine-checked rules over
+the Python AST, organised as a whole-program framework:
 
-* ``python -m repro.analysis.lint src`` lints a tree and exits non-zero
-  on any violation;
+* per-file syntactic rules ``SIM001`` ... ``SIM011`` (``rules``), an
+  intra-procedural dataflow pass ``SIM012`` ... ``SIM015`` tracking RNG
+  and set-origin values (``dataflow`` + ``rules_flow``), and stale-ignore
+  auditing ``SIM016``;
+* whole-program architecture rules ``ARCH001`` ... ``ARCH004`` over the
+  resolved import graph: layering direction, cycle detection, kernel
+  isolation from ``experiments``, and facade enforcement (``model`` +
+  ``graph`` + ``rules_arch``);
+* an incremental engine (``engine``) with a content-hash cache, process
+  fan-out, a committed-baseline ratchet (``baseline``) and text/json/
+  SARIF 2.1.0 output (``sarif``);
+* ``python -m repro.analysis.lint src tests benchmarks`` lints the repo
+  and exits non-zero on any non-baselined violation;
 * each rule carries a fix-it message and traces back to the invariant it
-  protects (see ``rules.RULES`` and DESIGN.md §7);
+  protects (see ``engine.ALL_RULES`` and DESIGN.md §7/§12);
 * an intentional violation is silenced inline with
-  ``# simlint: ignore[SIM00x]`` plus a one-line justification.
+  ``# simlint: ignore[SIM00x]`` plus a one-line justification (anchored
+  to the enclosing statement); ARCH findings are baseline-only.
 
 The linter is self-hosted: it depends only on the standard library, so it
 runs anywhere the repo runs (CI, the ``scripts/check.sh`` gate, editors).
@@ -25,6 +37,18 @@ from __future__ import annotations
 # NOTE: repro.analysis.lint is deliberately not imported here — importing
 # it from the package __init__ would shadow `python -m repro.analysis.lint`
 # (runpy warns when the submodule is already in sys.modules).
+from repro.analysis.engine import ALL_RULES, Report, run_engine
 from repro.analysis.rules import RULES, Rule, Violation
+from repro.analysis.rules_arch import ARCH_RULES
+from repro.analysis.rules_flow import FLOW_RULES
 
-__all__ = ["RULES", "Rule", "Violation"]
+__all__ = [
+    "ALL_RULES",
+    "ARCH_RULES",
+    "FLOW_RULES",
+    "RULES",
+    "Report",
+    "Rule",
+    "Violation",
+    "run_engine",
+]

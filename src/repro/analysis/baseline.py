@@ -1,0 +1,135 @@
+"""Committed-baseline mechanism: land rules warn-first, then ratchet.
+
+A baseline file is a committed JSON list of *accepted* findings, keyed
+by ``(path, rule)`` with a count and a mandatory justification.  The
+engine demotes up to ``count`` matching findings from error to
+"baselined" (reported, excluded from the exit code), which lets a new
+rule land green and be ratcheted file-by-file.  The ratchet half: when a
+baselined file improves, the now-too-generous entry is reported as stale
+so the allowance shrinks instead of masking regressions.
+
+Format (``simlint-baseline.json``)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"path": "src/repro/x.py", "rule": "ARCH004", "count": 2,
+         "justification": "migration tracked in ISSUE 9"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.rules import Violation
+
+__all__ = ["BaselineEntry", "BaselineError", "apply_baseline", "load_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+class BaselineError(Exception):
+    """Raised for a malformed baseline file (reported as a hard error)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted ``(path, rule)`` allowance."""
+
+    path: str
+    rule: str
+    count: int
+    justification: str
+
+
+def _normalize(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def load_baseline(path: Path) -> Dict[Tuple[str, str], BaselineEntry]:
+    """Parse a baseline file into a ``{(path, rule): entry}`` map."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"{path}: cannot read baseline: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise BaselineError(f"{path}: expected a baseline object with version={_VERSION}")
+    entries: Dict[Tuple[str, str], BaselineEntry] = {}
+    for raw in data.get("entries", []):
+        try:
+            entry = BaselineEntry(
+                path=_normalize(str(raw["path"])),
+                rule=str(raw["rule"]),
+                count=int(raw["count"]),
+                justification=str(raw["justification"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BaselineError(
+                f"{path}: malformed entry {raw!r}: every entry needs "
+                "path/rule/count/justification"
+            ) from exc
+        if entry.count < 1 or not entry.justification.strip():
+            raise BaselineError(
+                f"{path}: entry for {entry.path}:{entry.rule} needs count >= 1 "
+                "and a non-empty justification"
+            )
+        key = (entry.path, entry.rule)
+        if key in entries:
+            raise BaselineError(f"{path}: duplicate entry for {entry.path}:{entry.rule}")
+        entries[key] = entry
+    return entries
+
+
+def apply_baseline(
+    violations: Sequence[Violation],
+    baseline: Dict[Tuple[str, str], BaselineEntry],
+) -> Tuple[List[Violation], List[Violation], List[str]]:
+    """Split findings into (errors, baselined) and report stale entries.
+
+    Findings are matched in report order: the first ``count`` findings of
+    a ``(path, rule)`` pair are demoted, the rest stay errors (the
+    ratchet never widens).  ``stale`` describes entries whose allowance
+    exceeded reality — shrink or delete them.
+    """
+    remaining = {key: entry.count for key, entry in baseline.items()}
+    errors: List[Violation] = []
+    baselined: List[Violation] = []
+    for violation in violations:
+        key = (_normalize(violation.path), violation.rule_id)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined.append(violation)
+        else:
+            errors.append(violation)
+    stale = [
+        f"baseline entry {key[0]}:{key[1]} allows {baseline[key].count} finding(s) "
+        f"but only {baseline[key].count - left} occurred — shrink or delete it"
+        for key, left in sorted(remaining.items())
+        if left > 0
+    ]
+    return errors, baselined, stale
+
+
+def write_baseline(violations: Sequence[Violation], path: Path, justification: str) -> int:
+    """Write the current findings as a fresh baseline; returns entry count."""
+    counts: Dict[Tuple[str, str], int] = {}
+    for violation in violations:
+        key = (_normalize(violation.path), violation.rule_id)
+        counts[key] = counts.get(key, 0) + 1
+    entries = [
+        {
+            "path": file_path,
+            "rule": rule,
+            "count": count,
+            "justification": justification,
+        }
+        for (file_path, rule), count in sorted(counts.items())
+    ]
+    payload = {"version": _VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+    return len(entries)

@@ -1,0 +1,564 @@
+"""The incremental whole-program lint engine.
+
+Orchestrates everything the CLI exposes:
+
+* **Discovery** — ``os.walk``-style traversal with real directory
+  pruning (the old ``rglob`` filter skipped matching *files* but still
+  descended into skipped trees), deterministic ordering, and per-file
+  scope assignment: files under ``tests/``/``benchmarks/`` get the
+  relaxed TEST scope, everything else (and every explicitly named file)
+  the full KERNEL scope.
+* **Per-file analysis** — the legacy :class:`InvariantVisitor` rules
+  plus the :mod:`repro.analysis.rules_flow` dataflow pass, with inline
+  ``# simlint: ignore[...]`` suppression anchored to *statement spans*
+  (a directive on a ``def`` line silences a violation reported on its
+  decorator, and a directive on any line of a multi-line statement
+  covers the whole statement).
+* **Whole-program pass** — the module table feeds the ARCH layering
+  rules (:mod:`repro.analysis.rules_arch`); ARCH findings are not
+  inline-suppressible (use the baseline for accepted exceptions).
+* **Incremental cache** — per-file results keyed by content sha256 and
+  a salt over the analyzer's own sources (same pattern as
+  ``repro.experiments.cache``): a warm re-lint of an unchanged tree
+  re-parses nothing, including the ARCH pass, which rebuilds from
+  cached import records.
+* **SIM016** — directives that suppressed nothing become stale-ignore
+  warnings (errors under ``--strict-ignores``).
+"""
+
+from __future__ import annotations
+
+import ast
+import concurrent.futures
+import hashlib
+import io
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.baseline import BaselineEntry, apply_baseline
+from repro.analysis.model import ModuleRecord, collect_imports, module_exports, module_name
+from repro.analysis.rules import RULES, InvariantVisitor, Rule, Violation
+from repro.analysis.rules_arch import ARCH_RULES, check_architecture, prove_acyclic
+from repro.analysis.rules_flow import FLOW_RULES, FlowVisitor
+
+__all__ = [
+    "ALL_RULES",
+    "FileAnalysis",
+    "Report",
+    "SCOPE_KERNEL",
+    "SCOPE_TEST",
+    "STALE_IGNORE_RULE",
+    "analyze_source",
+    "iter_python_files",
+    "run_engine",
+]
+
+#: directories never worth descending into (pruned, not post-filtered)
+_SKIP_DIR_NAMES = {
+    "__pycache__",
+    ".git",
+    ".mypy_cache",
+    ".pytest_cache",
+    ".ruff_cache",
+    ".repro_cache",
+    ".hypothesis",
+}
+
+#: the corpus of deliberately-broken rule fixtures: pruned whenever it is
+#: reached by directory walk (linting it explicitly still works)
+_FIXTURE_DIR = ("analysis", "fixtures")
+
+#: matches the blanket directive or the bracketed form with rule ids
+_IGNORE_RE = re.compile(r"#\s*simlint:\s*ignore(?:\[(?P<ids>[A-Z0-9,\s]+)\])?")
+
+SCOPE_KERNEL = "kernel"
+SCOPE_TEST = "test"
+
+#: rules enforced on tests/ and benchmarks/: the leak-across-runs pair
+#: (shared mutable defaults, swallowed control flow) plus stale ignores;
+#: kernel-convention rules would drown test code in false positives
+#: (tests legitimately build RNGs, read clocks around benchmarks, etc.)
+_TEST_SCOPE_RULES = {"SIM005", "SIM006"}
+
+STALE_IGNORE_RULE = Rule(
+    "SIM016",
+    "stale '# simlint: ignore' directive suppresses nothing",
+    "an ignore that no longer matches any violation is camouflage: it "
+    "documents a hazard that no longer exists and will silently swallow "
+    "the next real finding on that statement — delete it (or fix the "
+    "rule list in the brackets)",
+)
+
+#: every rule the engine can emit, in report order
+ALL_RULES: Tuple[Rule, ...] = RULES + FLOW_RULES + (STALE_IGNORE_RULE,) + ARCH_RULES
+
+_CACHE_VERSION = 2
+
+#: compound statements whose suppression span is the *header* only
+#: (directive on the def/if line must not blanket the whole body)
+_COMPOUND_STMTS = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+    ast.If,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+)
+
+
+@dataclass
+class Directive:
+    """One inline ignore comment and whether it earned its keep."""
+
+    line: int
+    col: int
+    #: None = blanket ignore; otherwise the bracketed rule ids
+    ids: Optional[Tuple[str, ...]]
+    used: bool = False
+
+    def to_json(self) -> List[Any]:
+        return [self.line, self.col, list(self.ids) if self.ids is not None else None, self.used]
+
+    @staticmethod
+    def from_json(data: Sequence[Any]) -> "Directive":
+        line, col, ids, used = data
+        return Directive(int(line), int(col), tuple(ids) if ids is not None else None, bool(used))
+
+
+@dataclass
+class FileAnalysis:
+    """Everything the engine needs to remember about one analyzed file."""
+
+    path: str
+    violations: List[Violation] = field(default_factory=list)
+    directives: List[Directive] = field(default_factory=list)
+    #: suppressed finding counts per rule (for the stats table)
+    suppressed: Dict[str, int] = field(default_factory=dict)
+    module: Optional[ModuleRecord] = None
+    broken: Optional[str] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "violations": [
+                [v.line, v.col, v.rule_id, v.message] for v in self.violations
+            ],
+            "directives": [d.to_json() for d in self.directives],
+            "suppressed": self.suppressed,
+            "module": self.module.to_json() if self.module is not None else None,
+            "broken": self.broken,
+        }
+
+    @staticmethod
+    def from_json(path: str, data: Dict[str, Any]) -> "FileAnalysis":
+        module = data.get("module")
+        return FileAnalysis(
+            path=path,
+            violations=[
+                Violation(path=path, line=int(line), col=int(col), rule_id=str(rule), message=str(msg))
+                for line, col, rule, msg in data.get("violations", ())
+            ],
+            directives=[Directive.from_json(d) for d in data.get("directives", ())],
+            suppressed={str(k): int(v) for k, v in data.get("suppressed", {}).items()},
+            module=ModuleRecord.from_json(path, module) if module is not None else None,
+            broken=data.get("broken"),
+        )
+
+
+# -- discovery ---------------------------------------------------------------
+
+
+def _prune(dirnames: List[str], parent: Path) -> None:
+    keep = []
+    for name in dirnames:
+        if name in _SKIP_DIR_NAMES:
+            continue
+        if name == _FIXTURE_DIR[1] and parent.name == _FIXTURE_DIR[0]:
+            continue
+        keep.append(name)
+    dirnames[:] = sorted(keep)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterable[Tuple[Path, str]]:
+    """Yield ``(file, scope)`` pairs in deterministic order.
+
+    Directories are walked with genuine pruning: a skipped directory is
+    never descended into.  Explicitly named files are always yielded at
+    KERNEL scope, whatever their location — only walk-*discovered* files
+    under a ``tests``/``benchmarks`` segment are demoted to TEST scope.
+    """
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            root_is_test = bool({"tests", "benchmarks"} & set(path.parts))
+            for dirpath, dirnames, filenames in os.walk(path):
+                here = Path(dirpath)
+                _prune(dirnames, here)
+                rel_parts = here.relative_to(path).parts
+                in_tests = root_is_test or bool({"tests", "benchmarks"} & set(rel_parts))
+                for name in sorted(filenames):
+                    if not name.endswith(".py"):
+                        continue
+                    file_path = here / name
+                    if file_path in seen:
+                        continue
+                    seen.add(file_path)
+                    yield file_path, SCOPE_TEST if in_tests else SCOPE_KERNEL
+        elif path.suffix == ".py" and path not in seen:
+            seen.add(path)
+            yield path, SCOPE_KERNEL
+
+
+# -- suppression -------------------------------------------------------------
+
+
+def _parse_directive(text: str, line: int, col_base: int) -> Optional[Directive]:
+    match = _IGNORE_RE.search(text)
+    if match is None:
+        return None
+    ids = match.group("ids")
+    parsed: Optional[Tuple[str, ...]] = None
+    if ids is not None:
+        parsed = tuple(part.strip() for part in ids.split(",") if part.strip())
+    return Directive(line=line, col=col_base + match.start(), ids=parsed)
+
+
+def _collect_directives(source: str) -> List[Directive]:
+    """Every ignore directive in ``source``, from real comment tokens.
+
+    Tokenizing (rather than scanning raw lines) keeps a ``# simlint:
+    ignore`` *mention* inside a docstring or string literal from being
+    treated as a live directive — the stale-ignore audit (SIM016) would
+    otherwise flag prose that documents the escape hatch.
+    """
+    directives: List[Directive] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            directive = _parse_directive(token.string, token.start[0], token.start[1])
+            if directive is not None:
+                directives.append(directive)
+    except (tokenize.TokenError, IndentationError):
+        # fall back to the historical line scan for untokenizable input
+        directives = []
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            directive = _parse_directive(text, lineno, 0)
+            if directive is not None:
+                directives.append(directive)
+    return directives
+
+
+def _statement_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        for deco in getattr(node, "decorator_list", []):
+            start = min(start, deco.lineno)
+        body = getattr(node, "body", None)
+        if isinstance(node, _COMPOUND_STMTS) and body:
+            end = max(node.lineno, body[0].lineno - 1)
+        else:
+            end = node.end_lineno or node.lineno
+        spans.append((start, end))
+    return spans
+
+
+def _span_for_line(spans: Sequence[Tuple[int, int]], line: int) -> Tuple[int, int]:
+    """The innermost statement span containing ``line``."""
+    best: Optional[Tuple[int, int]] = None
+    for start, end in spans:
+        if start <= line <= end:
+            if best is None or (end - start, -start) < (best[1] - best[0], -best[0]):
+                best = (start, end)
+    return best if best is not None else (line, line)
+
+
+def _apply_suppression(
+    violations: List[Violation],
+    directives: List[Directive],
+    spans: Sequence[Tuple[int, int]],
+) -> Tuple[List[Violation], Dict[str, int]]:
+    kept: List[Violation] = []
+    suppressed: Dict[str, int] = {}
+    by_line: Dict[int, List[Directive]] = {}
+    for directive in directives:
+        by_line.setdefault(directive.line, []).append(directive)
+    for violation in violations:
+        start, end = _span_for_line(spans, violation.line)
+        hit = None
+        for line in range(start, end + 1):
+            for directive in by_line.get(line, ()):
+                if directive.ids is None or violation.rule_id in directive.ids:
+                    hit = directive
+                    break
+            if hit is not None:
+                break
+        if hit is not None:
+            hit.used = True
+            suppressed[violation.rule_id] = suppressed.get(violation.rule_id, 0) + 1
+        else:
+            kept.append(violation)
+    return kept, suppressed
+
+
+# -- per-file analysis -------------------------------------------------------
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    *,
+    scope: str = SCOPE_KERNEL,
+    legacy_only: bool = False,
+    fs_path: Optional[Path] = None,
+) -> FileAnalysis:
+    """Run every per-file pass over one module's source text.
+
+    ``legacy_only`` restricts to the SIM001-SIM011 visitor — that is the
+    byte-compatibility surface of :func:`repro.analysis.lint.lint_source`
+    (the fixture corpus pins it).  The engine always runs the full set.
+    """
+    analysis = FileAnalysis(path=path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        analysis.broken = f"{path}:{exc.lineno or 1}:0: cannot parse: {exc.msg}"
+        return analysis
+
+    visitor = InvariantVisitor(path)
+    visitor.visit(tree)
+    violations = list(visitor.violations)
+    if not legacy_only and scope == SCOPE_KERNEL:
+        flow = FlowVisitor(path)
+        flow.visit(tree)
+        violations.extend(flow.violations)
+    if scope == SCOPE_TEST:
+        violations = [v for v in violations if v.rule_id in _TEST_SCOPE_RULES]
+    violations.sort(key=lambda v: (v.line, v.col, v.rule_id))
+
+    directives = _collect_directives(source)
+    spans = _statement_spans(tree)
+    analysis.violations, analysis.suppressed = _apply_suppression(violations, directives, spans)
+    analysis.directives = directives
+
+    if not legacy_only:
+        resolve_from = fs_path if fs_path is not None else Path(path)
+        is_init = resolve_from.name == "__init__.py"
+        dotted = module_name(resolve_from) if resolve_from.exists() else None
+        analysis.module = ModuleRecord(
+            path=path,
+            module=dotted,
+            imports=collect_imports(tree, dotted, is_init),
+            exports=module_exports(tree) if is_init else None,
+            is_init=is_init,
+        )
+    return analysis
+
+
+def _analyze_file(args: Tuple[str, str]) -> Tuple[str, str, Dict[str, Any]]:
+    """Worker for the process-pool fan-out; returns cacheable JSON."""
+    path_str, scope = args
+    path = Path(path_str)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        broken = FileAnalysis(path=path_str, broken=f"{path_str}:1:0: cannot read: {exc}")
+        return path_str, "", broken.to_json()
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    analysis = analyze_source(source, path_str, scope=scope, fs_path=path)
+    return path_str, digest, analysis.to_json()
+
+
+# -- cache -------------------------------------------------------------------
+
+
+def _analysis_salt() -> str:
+    """sha256 over the analyzer's own sources: new rules bust the cache."""
+    digest = hashlib.sha256()
+    package_dir = Path(__file__).parent
+    for source in sorted(package_dir.glob("*.py")):
+        digest.update(source.name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(source.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _load_cache(cache_path: Path, salt: str) -> Dict[str, Any]:
+    try:
+        data = json.loads(cache_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return {}
+    if not isinstance(data, dict) or data.get("version") != _CACHE_VERSION:
+        return {}
+    if data.get("salt") != salt:
+        return {}
+    files = data.get("files")
+    return files if isinstance(files, dict) else {}
+
+
+def _save_cache(cache_path: Path, salt: str, files: Dict[str, Any]) -> None:
+    payload = {"version": _CACHE_VERSION, "salt": salt, "files": files}
+    tmp = cache_path.with_name(cache_path.name + ".tmp")
+    try:
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, cache_path)
+    except OSError:
+        tmp.unlink(missing_ok=True)
+
+
+# -- the engine --------------------------------------------------------------
+
+
+@dataclass
+class Report:
+    """One engine run's complete outcome."""
+
+    errors: List[Violation] = field(default_factory=list)
+    warnings: List[Violation] = field(default_factory=list)
+    baselined: List[Violation] = field(default_factory=list)
+    stale_baseline: List[str] = field(default_factory=list)
+    broken: List[str] = field(default_factory=list)
+    #: per-rule {"errors": n, "warnings": n, "baselined": n, "suppressed": n}
+    stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    files_analyzed: int = 0
+    files_reused: int = 0
+    #: the acyclicity proof: packages in dependency order (None = cycle)
+    package_order: Optional[List[str]] = None
+
+    @property
+    def exit_code(self) -> int:
+        if self.broken:
+            return 2
+        return 1 if self.errors else 0
+
+    def _bump(self, rule_id: str, bucket: str, amount: int = 1) -> None:
+        row = self.stats.setdefault(
+            rule_id, {"errors": 0, "warnings": 0, "baselined": 0, "suppressed": 0}
+        )
+        row[bucket] += amount
+
+
+def run_engine(
+    paths: Sequence[Path],
+    *,
+    cache_path: Optional[Path] = None,
+    jobs: int = 1,
+    strict_ignores: bool = False,
+    baseline: Optional[Dict[Tuple[str, str], BaselineEntry]] = None,
+) -> Report:
+    """Lint ``paths`` end to end; the CLI renders the returned report."""
+    report = Report()
+    targets = list(iter_python_files(paths))
+
+    salt = _analysis_salt()
+    cached = _load_cache(cache_path, salt) if cache_path is not None else {}
+    fresh_cache: Dict[str, Any] = {}
+    analyses: Dict[str, FileAnalysis] = {}
+    pending: List[Tuple[str, str]] = []
+
+    for file_path, scope in targets:
+        key = str(file_path)
+        entry = cached.get(key)
+        digest: Optional[str] = None
+        if entry is not None and entry.get("scope") == scope:
+            try:
+                source_bytes = file_path.read_bytes()
+            except OSError:
+                source_bytes = None
+            if source_bytes is not None:
+                digest = hashlib.sha256(source_bytes).hexdigest()
+                if digest == entry.get("hash"):
+                    analyses[key] = FileAnalysis.from_json(key, entry["analysis"])
+                    fresh_cache[key] = entry
+                    report.files_reused += 1
+                    continue
+        pending.append((key, scope))
+
+    if pending:
+        if jobs > 1 and len(pending) > 4:
+            with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+                results = list(pool.map(_analyze_file, pending, chunksize=8))
+        else:
+            results = [_analyze_file(item) for item in pending]
+        scope_of = dict(pending)
+        for key, digest_str, payload in results:
+            analyses[key] = FileAnalysis.from_json(key, payload)
+            report.files_analyzed += 1
+            if digest_str:
+                fresh_cache[key] = {
+                    "hash": digest_str,
+                    "scope": scope_of[key],
+                    "analysis": payload,
+                }
+
+    # deterministic order for everything downstream
+    ordered = [analyses[key] for key, _ in ((str(p), s) for p, s in targets)]
+
+    violations: List[Violation] = []
+    for analysis in ordered:
+        if analysis.broken is not None:
+            report.broken.append(analysis.broken)
+            continue
+        violations.extend(analysis.violations)
+        for rule_id, count in analysis.suppressed.items():
+            report._bump(rule_id, "suppressed", count)
+
+    # whole-program ARCH pass from the (possibly cached) module table
+    modules = [a.module for a in ordered if a.module is not None and a.broken is None]
+    violations.extend(check_architecture(modules))
+    report.package_order = prove_acyclic(modules)
+
+    # SIM016: directives that suppressed nothing
+    stale: List[Violation] = []
+    for analysis in ordered:
+        if analysis.broken is not None:
+            continue
+        for directive in analysis.directives:
+            if not directive.used:
+                listed = f"[{', '.join(directive.ids)}]" if directive.ids is not None else ""
+                stale.append(
+                    Violation(
+                        path=analysis.path,
+                        line=directive.line,
+                        col=directive.col,
+                        rule_id="SIM016",
+                        message=(
+                            f"stale directive 'simlint: ignore{listed}' suppresses "
+                            "nothing on this statement; delete it so it cannot "
+                            "mask the next real finding"
+                        ),
+                    )
+                )
+    if strict_ignores:
+        violations.extend(stale)
+    else:
+        report.warnings.extend(stale)
+
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    report.errors, report.baselined, report.stale_baseline = apply_baseline(
+        violations, baseline or {}
+    )
+
+    for violation in report.errors:
+        report._bump(violation.rule_id, "errors")
+    for violation in report.warnings:
+        report._bump(violation.rule_id, "warnings")
+    for violation in report.baselined:
+        report._bump(violation.rule_id, "baselined")
+
+    if cache_path is not None:
+        _save_cache(cache_path, salt, fresh_cache)
+    return report

@@ -1,0 +1,97 @@
+"""SARIF 2.1.0 emission for CI artifact upload and code-scanning UIs.
+
+Emits the minimal-but-valid subset of the OASIS SARIF 2.1.0 schema that
+code-scanning consumers read: one run, the full rule table on the tool
+driver, and one result per finding with a physical location.  Baselined
+findings are emitted at ``note`` level with ``baselineState`` set so a
+viewer can distinguish accepted debt from live errors; stale-ignore
+warnings ride along at ``warning`` level.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.rules import Rule, Violation
+
+__all__ = ["SARIF_VERSION", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+_INFO_URI = "https://github.com/oasis-tcs/sarif-spec"
+
+
+def _rule_descriptor(rule: Rule, level: str) -> Dict[str, Any]:
+    return {
+        "id": rule.id,
+        "name": rule.id,
+        "shortDescription": {"text": rule.summary},
+        "fullDescription": {"text": rule.invariant},
+        "defaultConfiguration": {"level": level},
+    }
+
+
+def _result(violation: Violation, level: str, baseline_state: str | None = None) -> Dict[str, Any]:
+    uri = Path(violation.path).as_posix()
+    result: Dict[str, Any] = {
+        "ruleId": violation.rule_id,
+        "level": level,
+        "message": {"text": violation.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri, "uriBaseId": "SRCROOT"},
+                    "region": {
+                        "startLine": max(1, violation.line),
+                        "startColumn": max(1, violation.col + 1),
+                    },
+                }
+            }
+        ],
+    }
+    if baseline_state is not None:
+        result["baselineState"] = baseline_state
+    return result
+
+
+def to_sarif(
+    rules: Sequence[Rule],
+    errors: Sequence[Violation],
+    warnings: Sequence[Violation] = (),
+    baselined: Sequence[Violation] = (),
+    tool_version: str = "1.0.0",
+) -> Dict[str, Any]:
+    """The complete SARIF log object for one analyzer run."""
+    warning_ids = {violation.rule_id for violation in warnings}
+    descriptors = [
+        _rule_descriptor(rule, "warning" if rule.id in warning_ids else "error")
+        for rule in rules
+    ]
+    results: List[Dict[str, Any]] = []
+    for violation in errors:
+        results.append(_result(violation, "error"))
+    for violation in warnings:
+        results.append(_result(violation, "warning"))
+    for violation in baselined:
+        results.append(_result(violation, "note", baseline_state="unchanged"))
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": _INFO_URI,
+                        "version": tool_version,
+                        "rules": descriptors,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": Path.cwd().as_uri() + "/"}
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -12,8 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.sim.environment import Environment
-from repro.sim.stats import TimeSeries, TimeWeightedStats
+from repro.sim import Environment, TimeSeries, TimeWeightedStats
 
 __all__ = ["UsageLedger", "UsageSample"]
 

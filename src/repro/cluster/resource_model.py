@@ -39,9 +39,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
-from repro.sim.environment import Environment
-from repro.sim.events import Event
-from repro.sim.stats import TimeWeightedStats
+from repro.sim import Environment, Event, TimeWeightedStats
 
 __all__ = ["ContentionConfig", "DemandVector", "MachineModel", "SensitivityVector"]
 

@@ -1,6 +1,7 @@
 """Amoeba itself: the paper's contribution.
 
-* :mod:`repro.core.queueing` — the M/M/N model (Eqs. 1–5): stationary
+* :mod:`repro.sim.queueing` (re-exported here) — the M/M/N model
+  (Eqs. 1–5): stationary
   distribution, waiting-time CDF, r-ile waits, and the discriminant
   function λ(μ) that decides whether serverless deployment can meet a
   QoS target.
@@ -27,7 +28,7 @@
 from typing import Any
 
 from repro.core.config import AmoebaConfig
-from repro.core.queueing import (
+from repro.sim.queueing import (
     discriminant_lambda,
     erlang_c,
     erlang_pi0,
@@ -42,8 +43,10 @@ from repro.core.queueing import (
 
 
 def __getattr__(name: str) -> Any:
-    # lazy: the runtime pulls in the platform packages, which themselves
-    # use repro.core.queueing — a module-level import here would cycle
+    # lazy: the runtime pulls in the platform packages; importing it
+    # eagerly here would make every `import repro.core` pay for the
+    # whole dependency tree (and ARCH layering treats core as the top
+    # kernel layer — see repro.analysis.rules_arch)
     if name == "AmoebaRuntime":
         from repro.core.runtime import AmoebaRuntime
 

@@ -30,10 +30,9 @@ from repro.core.config import AmoebaConfig
 from repro.core.engine import DeployMode, HybridExecutionEngine
 from repro.core.monitor import ContentionMonitor, sample_period
 from repro.core.mu_model import MuEstimate, mu_value
-from repro.core.queueing import max_arrival_rate, max_arrival_rate_gg
-from repro.sim.environment import Environment
-from repro.sim.events import Event
-from repro.workloads.functionbench import MicroserviceSpec
+from repro.sim.queueing import max_arrival_rate, max_arrival_rate_gg
+from repro.sim import Environment, Event
+from repro.workloads import MicroserviceSpec
 
 __all__ = ["ControllerDecision", "DeploymentController"]
 

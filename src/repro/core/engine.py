@@ -32,15 +32,13 @@ from typing import Iterator, List, Optional, Tuple
 
 from repro.core.config import AmoebaConfig
 from repro.core.prewarm import prewarm_count
-from repro.iaas.service import IaaSService, ServiceState
-from repro.overload.governor import OverloadGovernor
-from repro.serverless.platform import ServerlessPlatform
-from repro.sim.environment import Environment
-from repro.sim.events import Event
-from repro.sim.rng import RngRegistry
+from repro.iaas import IaaSService
+from repro.iaas.service import ServiceState
+from repro.overload import OverloadGovernor
+from repro.serverless import ServerlessPlatform
+from repro.sim import Environment, Event, RngRegistry
 from repro.telemetry import ServiceMetrics
-from repro.workloads.functionbench import MicroserviceSpec
-from repro.workloads.loadgen import Query
+from repro.workloads import MicroserviceSpec, Query
 
 __all__ = ["DeployMode", "HybridExecutionEngine"]
 

@@ -29,15 +29,10 @@ from typing import Dict, Iterator, Optional
 
 import numpy as np
 
-from repro.cluster.resource_model import (
-    ContentionConfig,
-    DemandVector,
-    SensitivityVector,
-)
-from repro.cluster.spec import NodeSpec
-from repro.serverless.config import ServerlessConfig
-from repro.sim.events import Event
-from repro.workloads.functionbench import MicroserviceSpec
+from repro.cluster import ContentionConfig, DemandVector, NodeSpec, SensitivityVector
+from repro.serverless import ServerlessConfig
+from repro.sim import Event
+from repro.workloads import MicroserviceSpec
 
 __all__ = [
     "METER_SPECS",

@@ -32,13 +32,11 @@ import numpy as np
 from repro.core.config import AmoebaConfig
 from repro.core.meters import AXIS_METERS, METER_SPECS, MeterProfile, profile_meter
 from repro.core.surfaces import SurfaceSet
-from repro.faults.injector import FaultInjector
-from repro.serverless.platform import ServerlessPlatform
-from repro.sim.environment import Environment
-from repro.sim.events import Event
-from repro.sim.rng import RngRegistry
+from repro.faults import FaultInjector
+from repro.serverless import ServerlessPlatform
+from repro.sim import Environment, Event, RngRegistry
 from repro.telemetry import ServiceMetrics
-from repro.workloads.loadgen import Query
+from repro.workloads import Query
 
 __all__ = ["ContentionMonitor", "pcr_fit", "sample_period"]
 

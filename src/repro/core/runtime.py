@@ -24,32 +24,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
-from repro.cluster.accounting import UsageSample
-from repro.cluster.resource_model import ContentionConfig
-from repro.cluster.spec import CLUSTER_TABLE_II, ClusterSpec
+from repro.cluster import CLUSTER_TABLE_II, ContentionConfig, UsageSample
+from repro.cluster.spec import ClusterSpec
 from repro.core.config import AmoebaConfig
 from repro.core.controller import DeploymentController
 from repro.core.engine import DeployMode, HybridExecutionEngine
 from repro.core.meters import expected_platform_overhead
 from repro.core.monitor import ContentionMonitor
 from repro.core.mu_model import predicted_latency
-from repro.core.queueing import qos_satisfied
+from repro.sim.queueing import qos_satisfied
 from repro.core.surfaces import SurfaceSet, build_surface_set
-from repro.faults.injector import FaultInjector
-from repro.faults.plan import FaultPlan
-from repro.iaas.service import IaaSService
-from repro.iaas.sizing import RPC_OVERHEAD, size_service
-from repro.overload.governor import OverloadGovernor
-from repro.overload.policy import OverloadPolicy
-from repro.iaas.vm import VMFlavor
-from repro.serverless.config import ServerlessConfig
-from repro.serverless.platform import ServerlessPlatform
-from repro.sim.environment import Environment
-from repro.sim.rng import RngRegistry
+from repro.faults import FaultInjector, FaultPlan
+from repro.iaas import IaaSService, VMFlavor, size_service
+from repro.iaas.sizing import RPC_OVERHEAD
+from repro.overload import OverloadGovernor, OverloadPolicy
+from repro.serverless import ServerlessConfig, ServerlessPlatform
+from repro.sim import Environment, RngRegistry
 from repro.telemetry import ServiceMetrics
-from repro.workloads.functionbench import MicroserviceSpec
-from repro.workloads.loadgen import LoadGenerator
-from repro.workloads.traces import Trace
+from repro.workloads import LoadGenerator, MicroserviceSpec, Trace
 
 __all__ = ["AmoebaRuntime", "BackgroundService", "ManagedService"]
 

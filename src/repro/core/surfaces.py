@@ -22,11 +22,10 @@ from typing import Iterator, Optional, Tuple
 import numpy as np
 from numpy.typing import ArrayLike
 
-from repro.cluster.resource_model import ContentionConfig
-from repro.cluster.spec import NodeSpec
+from repro.cluster import ContentionConfig, NodeSpec
 from repro.core.meters import expected_platform_overhead
-from repro.serverless.config import ServerlessConfig
-from repro.workloads.functionbench import MicroserviceSpec
+from repro.serverless import ServerlessConfig
+from repro.workloads import MicroserviceSpec
 
 __all__ = [
     "LatencySurface",

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Tuple
 
-from repro.core.config import AmoebaConfig
+from repro.core import AmoebaConfig
 from repro.experiments.executor import RunRequest, run_many
 from repro.experiments.report import FigureResult
 from repro.experiments.scenarios import Scenario, default_scenario

@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Optional, Sequence, Tuple, Union
 from repro.experiments.executor import RunRequest, run_many
 from repro.experiments.report import FigureResult
 from repro.experiments.runner import RunResult
-from repro.faults.plan import FaultPlan
+from repro.faults import FaultPlan
 from repro.experiments.scenarios import chaos_scenario
 
 if TYPE_CHECKING:  # pragma: no cover

@@ -44,7 +44,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.core.config import AmoebaConfig
+from repro.core import AmoebaConfig
 from repro.experiments.cache import RunCache, fingerprint
 from repro.experiments.runner import (
     RunResult,
@@ -53,7 +53,7 @@ from repro.experiments.runner import (
     run_openwhisk,
 )
 from repro.experiments.scenarios import Scenario
-from repro.serverless.config import ServerlessConfig
+from repro.serverless import ServerlessConfig
 
 __all__ = [
     "WORKERS_ENV_VAR",

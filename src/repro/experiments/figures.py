@@ -30,16 +30,12 @@ from repro.experiments.scenarios import (
     Scenario,
     default_scenario,
 )
-from repro.cluster.spec import NodeSpec
-from repro.iaas.platform import IaaSPlatform
-from repro.iaas.sizing import size_service
-from repro.serverless.platform import ServerlessPlatform
-from repro.sim.environment import Environment
-from repro.sim.rng import RngRegistry
+from repro.cluster import NodeSpec
+from repro.iaas import IaaSPlatform, size_service
+from repro.serverless import ServerlessPlatform
+from repro.sim import Environment, RngRegistry
 from repro.telemetry import ServiceMetrics
-from repro.workloads.functionbench import benchmark, benchmark_names
-from repro.workloads.loadgen import LoadGenerator
-from repro.workloads.traces import ConstantTrace, DiurnalTrace
+from repro.workloads import ConstantTrace, DiurnalTrace, LoadGenerator, benchmark, benchmark_names
 
 __all__ = [
     "cost_comparison",

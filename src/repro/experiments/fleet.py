@@ -10,9 +10,16 @@ process pool — results are merged in submission order and the report is
 
 The per-family rows carry two analytic columns (mean ρ and predicted
 p95/QoS at the mean rate, from the log-space Eq. 1–4 implementation in
-:mod:`repro.core.queueing`) next to the observed ones; the fleet
+:mod:`repro.sim.queueing`) next to the observed ones; the fleet
 validation tests tighten this comparison on quiescent constant-rate
 slices where the M/M/N reference is exact up to service-time shape.
+
+This module also owns the fleet's Eq. 5 *sizing*: the parameter draws
+live in :mod:`repro.workloads.fleet` (pure workloads-layer code), and
+:func:`generate_fleet` here injects :func:`fleet_threshold` as the
+member-sizing hook — the experiments layer is the only place allowed to
+see both the workload generator and the platform/queueing stack
+(DESIGN.md §12, ARCH001).
 """
 
 from __future__ import annotations
@@ -20,26 +27,106 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 
+from repro.core.meters import expected_platform_overhead
 from repro.experiments.executor import RunRequest, run_many
 from repro.experiments.report import FigureResult
 from repro.experiments.scenarios import Scenario, sized_reservoir
+from repro.serverless import ServerlessConfig
+from repro.sim.queueing import max_arrival_rate, sojourn_quantile
 from repro.workloads.fleet import (
     DEFAULT_DAILY_QUERIES,
     FleetService,
-    analytic_service_prediction,
     fleet_daily_queries,
-    generate_fleet,
 )
+from repro.workloads.fleet import generate_fleet as _generate_members
+from repro.workloads import MicroserviceSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.cache import RunCache
 
-__all__ = ["FLEET_DAY", "fleet_scenarios", "fleet_sweep"]
+__all__ = [
+    "FLEET_DAY",
+    "analytic_service_prediction",
+    "fleet_scenarios",
+    "fleet_sweep",
+    "fleet_threshold",
+    "generate_fleet",
+]
 
 #: default compressed-day length for fleet runs: one diurnal cycle in
 #: 600 simulated seconds.  Fleet sweeps multiply everything by the fleet
 #: size, so they compress harder than the single-service figures.
 FLEET_DAY = 600.0
+
+
+def fleet_threshold(
+    spec: MicroserviceSpec,
+    peak_rate: float,
+    fraction: float,
+    cfg: Optional[ServerlessConfig] = None,
+) -> int:
+    """Concurrency cap for one fleet member (Eq. 5 ceiling sizing).
+
+    Same contract as
+    :func:`repro.experiments.scenarios.concurrency_threshold`, with the
+    search cap raised to the fleet scale: the smallest n whose
+    uncontended admissible rate reaches ``fraction * peak_rate``.
+    """
+    cfg = cfg if cfg is not None else ServerlessConfig()
+    mu0 = 1.0 / (spec.exec_time + expected_platform_overhead(spec, cfg))
+    target = fraction * peak_rate
+    n = 1
+    while max_arrival_rate(mu0, n, spec.qos_target, 0.95) < target:
+        n += 1
+        if n > 65536:
+            raise ValueError(f"{spec.name}: fleet threshold search ran away")
+    return n
+
+
+def generate_fleet(
+    services: int,
+    daily_queries: float = DEFAULT_DAILY_QUERIES,
+    day: float = 600.0,
+    seed: int = 0,
+    cfg: Optional[ServerlessConfig] = None,
+) -> Tuple[FleetService, ...]:
+    """Deterministic heterogeneous fleet, members sized by Eq. 5.
+
+    The parameter draws are :func:`repro.workloads.fleet.generate_fleet`
+    (see its docstring for the determinism contract); this wrapper
+    injects :func:`fleet_threshold` under ``cfg`` as each member's
+    concurrency-cap sizing.
+    """
+    sized = cfg if cfg is not None else ServerlessConfig()
+
+    def limit_fn(spec: MicroserviceSpec, peak: float, fraction: float) -> int:
+        return fleet_threshold(spec, peak, fraction, sized)
+
+    return _generate_members(
+        services, daily_queries=daily_queries, day=day, seed=seed, limit_fn=limit_fn
+    )
+
+
+def analytic_service_prediction(
+    svc: FleetService, cfg: Optional[ServerlessConfig] = None, r: float = 0.95
+) -> Tuple[float, float]:
+    """Steady-state M/M/N reference for one fleet member on serverless.
+
+    Returns ``(rho, p95_sojourn)`` at the service's *mean* arrival rate
+    against its concurrency cap, with the uncontended per-container rate
+    μ₀ = 1/(exec + α).  ``p95_sojourn`` is ``inf`` when the mean load
+    alone saturates the cap (ρ >= 1).  These are references for the
+    fleet report's analytic columns and the fleet validation tests — the
+    simulator's lognormal service times make M/M/N an approximation (an
+    upper bound on the wait tail whenever the service-time CV is below
+    exponential's).
+    """
+    cfg = cfg if cfg is not None else ServerlessConfig()
+    mu0 = 1.0 / (svc.spec.exec_time + expected_platform_overhead(svc.spec, cfg))
+    rho = svc.mean_rate / (svc.limit * mu0)
+    if rho >= 1.0:
+        return rho, math.inf
+    return rho, sojourn_quantile(r, svc.mean_rate, mu0, svc.limit)
 
 
 def fleet_scenarios(

@@ -16,17 +16,12 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cluster.resource_model import ContentionConfig, DemandVector
-from repro.cluster.spec import NodeSpec
-from repro.iaas.platform import IaaSPlatform
-from repro.serverless.config import ServerlessConfig
-from repro.serverless.platform import ServerlessPlatform
-from repro.sim.environment import Environment
-from repro.sim.rng import RngRegistry
+from repro.cluster import ContentionConfig, DemandVector, NodeSpec
+from repro.iaas import IaaSPlatform
+from repro.serverless import ServerlessConfig, ServerlessPlatform
+from repro.sim import Environment, RngRegistry
 from repro.telemetry import ServiceMetrics
-from repro.workloads.functionbench import MicroserviceSpec
-from repro.workloads.loadgen import LoadGenerator
-from repro.workloads.traces import ConstantTrace
+from repro.workloads import ConstantTrace, LoadGenerator, MicroserviceSpec
 
 __all__ = [
     "FaultSummary",

@@ -12,8 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.core.config import AmoebaConfig
-from repro.core.runtime import AmoebaRuntime
+from repro.core import AmoebaConfig, AmoebaRuntime
 from repro.experiments.executor import RunRequest, run_many
 from repro.experiments.report import FigureResult
 from repro.experiments.scenarios import (
@@ -23,9 +22,7 @@ from repro.experiments.scenarios import (
     concurrency_threshold,
 )
 from repro.experiments.scenarios import Scenario
-from repro.workloads.ambient import AmbientTenants
-from repro.workloads.functionbench import benchmark, benchmark_names
-from repro.workloads.traces import DiurnalTrace
+from repro.workloads import AmbientTenants, DiurnalTrace, benchmark, benchmark_names
 
 __all__ = ["portfolio_figure", "run_portfolio"]
 

@@ -18,20 +18,16 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.pricing import CostBreakdown, PricingModel
-    from repro.serverless.config import ServerlessConfig
+    from repro.serverless import ServerlessConfig
 
-from repro.cluster.accounting import UsageSample
-from repro.core.config import AmoebaConfig
+from repro.cluster import UsageSample
+from repro.core import AmoebaConfig, AmoebaRuntime
 from repro.core.controller import ControllerDecision
-from repro.core.runtime import AmoebaRuntime
-from repro.iaas.platform import IaaSPlatform
-from repro.serverless.platform import ServerlessPlatform
-from repro.sim.environment import Environment
-from repro.sim.rng import RngRegistry
+from repro.iaas import IaaSPlatform
+from repro.serverless import ServerlessPlatform
+from repro.sim import Environment, RngRegistry
 from repro.telemetry import ServiceMetrics
-from repro.workloads.ambient import AmbientTenants
-from repro.workloads.functionbench import MicroserviceSpec
-from repro.workloads.loadgen import LoadGenerator
+from repro.workloads import AmbientTenants, LoadGenerator, MicroserviceSpec
 from repro.experiments.metrics import FaultSummary, OverloadSummary, resample_zoh
 from repro.experiments.scenarios import Scenario
 

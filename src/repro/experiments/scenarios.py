@@ -28,13 +28,11 @@ from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 from repro.core.meters import expected_platform_overhead
-from repro.core.queueing import max_arrival_rate
-from repro.faults.plan import FaultPlan
-from repro.overload.policy import OverloadPolicy
-from repro.serverless.config import ServerlessConfig
-from repro.workloads.functionbench import benchmark, benchmark_names
-from repro.workloads.functionbench import MicroserviceSpec
-from repro.workloads.traces import DiurnalTrace, Trace
+from repro.sim.queueing import max_arrival_rate
+from repro.faults import FaultPlan
+from repro.overload import OverloadPolicy
+from repro.serverless import ServerlessConfig
+from repro.workloads import DiurnalTrace, MicroserviceSpec, Trace, benchmark, benchmark_names
 
 __all__ = [
     "AMBIENT_PEAKS",

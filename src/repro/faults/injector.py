@@ -24,9 +24,7 @@ from dataclasses import dataclass, fields
 from typing import Dict, Optional
 
 from repro.faults.plan import FaultPlan
-from repro.sim.environment import Environment
-from repro.sim.events import Event
-from repro.sim.rng import RngRegistry
+from repro.sim import Environment, Event, RngRegistry
 
 __all__ = ["FaultInjector", "FaultStats", "VMBootFailed"]
 

@@ -10,15 +10,13 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.cluster.resource_model import ContentionConfig
+from repro.cluster import ContentionConfig
 from repro.iaas.service import IaaSService
 from repro.iaas.sizing import size_service
 from repro.iaas.vm import VMFlavor
-from repro.sim.environment import Environment
-from repro.sim.rng import RngRegistry
+from repro.sim import Environment, RngRegistry
 from repro.telemetry import ServiceMetrics
-from repro.workloads.functionbench import MicroserviceSpec
-from repro.workloads.loadgen import Query
+from repro.workloads import MicroserviceSpec, Query
 
 __all__ = ["IaaSPlatform"]
 

@@ -18,19 +18,13 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
-from repro.cluster.accounting import UsageLedger
-from repro.cluster.resource_model import ContentionConfig, MachineModel
-from repro.faults.injector import FaultInjector, VMBootFailed
+from repro.cluster import ContentionConfig, MachineModel, UsageLedger
+from repro.faults import FaultInjector, VMBootFailed
 from repro.iaas.sizing import RPC_OVERHEAD, SizingResult
-from repro.overload.governor import OverloadGovernor
-from repro.sim.environment import Environment
-from repro.sim.events import Event
-from repro.sim.resources import Resource
-from repro.sim.rng import RngRegistry
-from repro.sim.stats import TimeSeries
+from repro.overload import OverloadGovernor
+from repro.sim import Environment, Event, Resource, RngRegistry, TimeSeries
 from repro.telemetry import ServiceMetrics
-from repro.workloads.functionbench import MicroserviceSpec
-from repro.workloads.loadgen import Query
+from repro.workloads import MicroserviceSpec, Query
 
 __all__ = ["IaaSService", "ServiceState"]
 

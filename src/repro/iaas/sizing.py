@@ -9,7 +9,7 @@ predicted 95 %-ile latency at peak meets the QoS target.
 The prediction couples two effects:
 
 * **Queueing**: n worker slots form an M/M/n system
-  (:func:`repro.core.queueing.qos_satisfied`).
+  (:func:`repro.sim.queueing.qos_satisfied`).
 * **Self-contention**: when many slots are busy at once, the service's
   own demand pressures its own VMs' cores/disk/NIC and stretches its
   service time.  We evaluate the slowdown at the all-busy pressure —
@@ -27,10 +27,10 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.cluster.resource_model import ContentionConfig
-from repro.core.queueing import qos_satisfied
+from repro.cluster import ContentionConfig
+from repro.sim.queueing import qos_satisfied
 from repro.iaas.vm import DEFAULT_FLAVOR, VMFlavor
-from repro.workloads.functionbench import MicroserviceSpec
+from repro.workloads import MicroserviceSpec
 
 __all__ = ["SizingResult", "size_service"]
 

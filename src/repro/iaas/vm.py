@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cluster.spec import NodeSpec
+from repro.cluster import NodeSpec
 
 __all__ = ["VMFlavor", "DEFAULT_FLAVOR"]
 

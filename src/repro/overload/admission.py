@@ -2,7 +2,7 @@
 
 These are the pure functions behind "reject on arrival when the model
 predicts the enqueued query cannot meet QoS".  They are the admission
-counterpart of :mod:`repro.core.queueing`: where Eq. 4/5 reason about
+counterpart of :mod:`repro.sim.queueing`: where Eq. 4/5 reason about
 the *steady-state* wait distribution, admission must reason about the
 wait of one concrete arrival that sees ``queued`` queries ahead of it.
 

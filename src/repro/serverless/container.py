@@ -25,7 +25,7 @@ import itertools
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.workloads.functionbench import MicroserviceSpec
+    from repro.workloads import MicroserviceSpec
 
 __all__ = ["Container", "ContainerState"]
 

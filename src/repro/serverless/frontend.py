@@ -11,9 +11,8 @@ from __future__ import annotations
 
 from repro.serverless.pool import ContainerPool, FunctionState
 from repro.serverless.config import ServerlessConfig
-from repro.sim.environment import Environment
-from repro.sim.rng import RngRegistry
-from repro.workloads.loadgen import Query
+from repro.sim import Environment, RngRegistry
+from repro.workloads import Query
 
 __all__ = ["Frontend"]
 

@@ -12,20 +12,15 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.cluster.accounting import UsageLedger
-from repro.cluster.resource_model import ContentionConfig, MachineModel
-from repro.cluster.spec import NodeSpec
-from repro.faults.injector import FaultInjector
-from repro.overload.governor import OverloadGovernor
+from repro.cluster import ContentionConfig, MachineModel, NodeSpec, UsageLedger
+from repro.faults import FaultInjector
+from repro.overload import OverloadGovernor
 from repro.serverless.config import ServerlessConfig
 from repro.serverless.frontend import Frontend
 from repro.serverless.pool import ContainerPool, FunctionState
-from repro.sim.environment import Environment
-from repro.sim.events import Event
-from repro.sim.rng import RngRegistry
+from repro.sim import Environment, Event, RngRegistry
 from repro.telemetry import ServiceMetrics
-from repro.workloads.functionbench import MicroserviceSpec
-from repro.workloads.loadgen import Query
+from repro.workloads import MicroserviceSpec, Query
 
 __all__ = ["ServerlessPlatform"]
 

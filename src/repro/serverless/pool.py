@@ -21,19 +21,15 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Iterator, Optional, Tuple
 
-from repro.cluster.accounting import UsageLedger
-from repro.cluster.resource_model import DemandVector, MachineModel, SensitivityVector
-from repro.faults.injector import FaultInjector
-from repro.overload.governor import OverloadGovernor
+from repro.cluster import DemandVector, MachineModel, SensitivityVector, UsageLedger
+from repro.faults import FaultInjector
+from repro.overload import OverloadGovernor
 from repro.serverless.config import ServerlessConfig
 from repro.serverless.container import Container, ContainerState
-from repro.sim.environment import Environment
-from repro.sim.events import Callback, Event
-from repro.sim.rng import RngRegistry
-from repro.sim.stats import TimeSeries
+from repro.sim import Environment, Event, RngRegistry, TimeSeries
+from repro.sim.events import Callback
 from repro.telemetry import ServiceMetrics
-from repro.workloads.functionbench import MicroserviceSpec
-from repro.workloads.loadgen import Query
+from repro.workloads import MicroserviceSpec, Query
 
 __all__ = ["ContainerPool", "FunctionState"]
 

@@ -15,9 +15,9 @@ from typing import Deque, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.overload.policy import DROP_REASONS
-from repro.sim.stats import OnlineStats, P2Quantile, ReservoirSample
-from repro.workloads.loadgen import Query
+from repro.overload import DROP_REASONS
+from repro.sim import OnlineStats, P2Quantile, ReservoirSample
+from repro.workloads import Query
 
 __all__ = ["DROP_REASONS", "LoadEstimator", "ServiceMetrics"]
 

@@ -21,9 +21,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.cluster.resource_model import DemandVector, MachineModel
-from repro.sim.environment import Environment
-from repro.sim.rng import RngRegistry
+from repro.cluster import DemandVector, MachineModel
+from repro.sim import Environment, RngRegistry
 from repro.workloads.traces import Trace
 
 __all__ = ["AmbientTenants"]

@@ -30,33 +30,35 @@ a fleet deterministically from a single seed:
   unchanged when service 101 joins a 100-service fleet; only the shared
   normalization scale (and with it every absolute rate) moves.
 
-Sizing every service's concurrency threshold calls the Eq. 5 admissible-
-rate search at whatever n the jittered peaks require; this module is the
-reason the Erlang math in :mod:`repro.core.queueing` has to survive large
+Sizing every service's concurrency threshold is *injected* via
+``limit_fn`` rather than computed here: the Eq. 5 admissible-rate search
+lives above this layer (``repro.experiments.fleet.fleet_threshold``),
+which keeps the workloads package independent of the platform and core
+layers (ARCH001 — see DESIGN.md §12).  The default Eq. 5 sizing is the
+reason the Erlang math in :mod:`repro.sim.queueing` has to survive large
 N without underflow.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from typing import Callable, Tuple
 
 import numpy as np
 
-from repro.core.meters import expected_platform_overhead
-from repro.core.queueing import max_arrival_rate, sojourn_quantile
-from repro.serverless.config import ServerlessConfig
 from repro.workloads.functionbench import MicroserviceSpec, benchmark, benchmark_names
 from repro.workloads.traces import DAY, DiurnalTrace
 
 __all__ = [
     "DEFAULT_DAILY_QUERIES",
     "FleetService",
-    "analytic_service_prediction",
+    "LimitFn",
     "fleet_daily_queries",
     "generate_fleet",
 ]
+
+#: concurrency-cap sizing hook: (spec, peak_rate, ceiling_fraction) -> limit
+LimitFn = Callable[[MicroserviceSpec, float, float], int]
 
 #: default aggregate fleet volume: five million queries per (real) day
 DEFAULT_DAILY_QUERIES = 5_000_000.0
@@ -109,33 +111,13 @@ def _draw_params(seed: int, index: int, day: float) -> dict:
     }
 
 
-def _fleet_threshold(
-    spec: MicroserviceSpec, peak_rate: float, fraction: float, cfg: ServerlessConfig
-) -> int:
-    """Concurrency cap for one fleet member (Eq. 5 ceiling sizing).
-
-    Same contract as
-    :func:`repro.experiments.scenarios.concurrency_threshold` (restated
-    here so the workloads layer stays independent of the experiments
-    layer): the smallest n whose uncontended admissible rate reaches
-    ``fraction * peak_rate``.
-    """
-    mu0 = 1.0 / (spec.exec_time + expected_platform_overhead(spec, cfg))
-    target = fraction * peak_rate
-    n = 1
-    while max_arrival_rate(mu0, n, spec.qos_target, 0.95) < target:
-        n += 1
-        if n > 65536:
-            raise ValueError(f"{spec.name}: fleet threshold search ran away")
-    return n
-
-
 def generate_fleet(
     services: int,
     daily_queries: float = DEFAULT_DAILY_QUERIES,
     day: float = 600.0,
     seed: int = 0,
-    cfg: Optional[ServerlessConfig] = None,
+    *,
+    limit_fn: LimitFn,
 ) -> Tuple[FleetService, ...]:
     """Generate a deterministic heterogeneous fleet.
 
@@ -152,6 +134,13 @@ def generate_fleet(
     seed:
         Master seed; every per-service parameter derives from
         ``(seed, index)``.
+    limit_fn:
+        Sizes each member's concurrency cap from
+        ``(spec, peak_rate, ceiling_fraction)``.  Must be deterministic
+        and RNG-free (it runs after all parameter draws, so it can never
+        perturb them).  The Eq. 5 sizing used by the sweeps is
+        :func:`repro.experiments.fleet.fleet_threshold`, applied by the
+        :func:`repro.experiments.fleet.generate_fleet` wrapper.
     """
     if services < 1:
         raise ValueError(f"services must be >= 1, got {services}")
@@ -159,7 +148,6 @@ def generate_fleet(
         raise ValueError(f"daily_queries must be positive, got {daily_queries}")
     if day <= 0:
         raise ValueError(f"day must be positive, got {day}")
-    cfg = cfg if cfg is not None else ServerlessConfig()
     families = benchmark_names()
 
     # pass 1: draw parameters and provisional traces at relative weights
@@ -200,7 +188,7 @@ def generate_fleet(
             phase=p["phase"],
             day=day,
         )
-        limit = _fleet_threshold(spec, peak, p["ceiling_fraction"], cfg)
+        limit = limit_fn(spec, peak, p["ceiling_fraction"])
         fleet.append(
             FleetService(
                 index=i,
@@ -221,25 +209,3 @@ def fleet_daily_queries(fleet: Tuple[FleetService, ...]) -> float:
     pass-2 normalization in :func:`generate_fleet`.
     """
     return sum(s.mean_rate for s in fleet) * DAY
-
-
-def analytic_service_prediction(
-    svc: FleetService, cfg: Optional[ServerlessConfig] = None, r: float = 0.95
-) -> Tuple[float, float]:
-    """Steady-state M/M/N reference for one fleet member on serverless.
-
-    Returns ``(rho, p95_sojourn)`` at the service's *mean* arrival rate
-    against its concurrency cap, with the uncontended per-container rate
-    μ₀ = 1/(exec + α).  ``p95_sojourn`` is ``inf`` when the mean load
-    alone saturates the cap (ρ >= 1).  These are references for the
-    fleet report's analytic columns and the fleet validation tests — the
-    simulator's lognormal service times make M/M/N an approximation (an
-    upper bound on the wait tail whenever the service-time CV is below
-    exponential's).
-    """
-    cfg = cfg if cfg is not None else ServerlessConfig()
-    mu0 = 1.0 / (svc.spec.exec_time + expected_platform_overhead(svc.spec, cfg))
-    rho = svc.mean_rate / (svc.limit * mu0)
-    if rho >= 1.0:
-        return rho, math.inf
-    return rho, sojourn_quantile(r, svc.mean_rate, mu0, svc.limit)

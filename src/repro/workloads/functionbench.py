@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, Tuple
 
-from repro.cluster.resource_model import DemandVector, SensitivityVector
+from repro.cluster import DemandVector, SensitivityVector
 
 __all__ = ["BENCHMARKS", "MicroserviceSpec", "benchmark", "benchmark_names"]
 

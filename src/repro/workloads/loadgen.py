@@ -16,9 +16,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.sim.environment import Environment
-from repro.sim.events import Callback, Event
-from repro.sim.rng import RngRegistry
+from repro.sim import Environment, Event, RngRegistry
+from repro.sim.events import Callback
 from repro.workloads.traces import Trace
 
 __all__ = ["LoadGenerator", "Query"]

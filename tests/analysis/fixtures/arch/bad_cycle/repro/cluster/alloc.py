@@ -1,0 +1,7 @@
+"""Half of an import cycle with repro.faults."""
+
+from repro.faults import plan
+
+
+def allocate() -> None:
+    plan.schedule()

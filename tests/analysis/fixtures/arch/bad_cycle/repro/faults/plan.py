@@ -1,0 +1,7 @@
+"""Other half of the cycle back into repro.cluster."""
+
+from repro.cluster import alloc
+
+
+def schedule() -> None:
+    alloc.allocate()

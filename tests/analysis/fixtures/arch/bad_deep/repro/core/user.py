@@ -1,0 +1,7 @@
+"""Deep import that bypasses the repro.sim facade."""
+
+from repro.sim.impl import api_fn
+
+
+def use() -> int:
+    return api_fn()

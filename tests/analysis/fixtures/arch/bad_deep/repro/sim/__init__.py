@@ -1,0 +1,5 @@
+"""Facade re-exporting the sim kernel's public API."""
+
+from repro.sim.impl import api_fn
+
+__all__ = ["api_fn"]

@@ -1,0 +1,2 @@
+def api_fn() -> int:
+    return 1

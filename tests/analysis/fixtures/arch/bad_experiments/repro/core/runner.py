@@ -1,0 +1,6 @@
+"""Kernel module importing the experiments driver layer."""
+
+
+def describe(run: int) -> str:
+    from repro.experiments.util import label
+    return label(run)

@@ -1,0 +1,2 @@
+def label(run: int) -> str:
+    return f"run-{run}"

@@ -1,0 +1,1 @@
+"""Kernel package that illegally reaches up the stack."""

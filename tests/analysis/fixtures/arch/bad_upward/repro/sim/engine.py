@@ -1,0 +1,7 @@
+"""Upward import: sim is layer 0, core is layer 5."""
+
+from repro.core import helpers
+
+
+def run() -> None:
+    helpers.noop()

@@ -1,0 +1,7 @@
+"""Downward import through the facade: cluster (1) -> sim (0)."""
+
+from repro.sim import api_fn
+
+
+def capacity() -> int:
+    return api_fn()

@@ -1,0 +1,8 @@
+"""Downward imports only: core (5) -> cluster (1) -> sim (0)."""
+
+from repro.cluster import nodes
+from repro.sim import api_fn
+
+
+def use() -> int:
+    return api_fn() + nodes.capacity()

@@ -1,0 +1,10 @@
+"""Bad: RNG constructed through a bound factory reference (SIM012)."""
+
+import numpy as np
+
+make_rng = np.random.default_rng
+
+
+def sample(seed: int) -> float:
+    rng = make_rng(seed)
+    return float(rng.random())

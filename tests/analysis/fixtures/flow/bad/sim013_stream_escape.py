@@ -1,0 +1,16 @@
+"""Bad: RNG / registry stream escaping into module and class state (SIM013)."""
+
+import random
+
+SHARED = random.Random(7)
+
+
+class Sampler:
+    @classmethod
+    def install(cls, registry) -> None:
+        cls.stream = registry.stream("arrivals")
+
+
+def leak(registry) -> None:
+    global ESCAPED
+    ESCAPED = registry.stream("service")

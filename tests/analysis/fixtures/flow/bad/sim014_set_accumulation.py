@@ -1,0 +1,15 @@
+"""Bad: set iteration feeding float accumulation in kernel code (SIM014)."""
+
+import math
+
+
+def total_latency(samples) -> float:
+    pending = set(samples)
+    total = 0.0
+    for value in pending:
+        total += value
+    return total
+
+
+def fsum_over_set(samples) -> float:
+    return math.fsum({s * 2.0 for s in samples})

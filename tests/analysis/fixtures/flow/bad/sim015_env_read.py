@@ -1,0 +1,16 @@
+"""Bad: host-environment reads inside kernel code (SIM015)."""
+
+import os
+import sys
+
+
+def configured_seed() -> int:
+    return int(os.environ.get("REPRO_SEED", "0"))
+
+
+def cli_override() -> str:
+    return sys.argv[1]
+
+
+def getenv_read() -> str:
+    return os.getenv("REPRO_MODE", "strict")

@@ -1,0 +1,28 @@
+"""Good: determinism-safe counterparts of the SIM012-SIM015 fixtures."""
+
+import math
+
+
+def sample(registry) -> float:
+    stream = registry.stream("arrivals")
+    return float(stream.random())
+
+
+class Sampler:
+    def __init__(self, registry) -> None:
+        self.stream = registry.stream("arrivals")
+
+
+def total_latency(samples) -> float:
+    total = 0.0
+    for value in sorted(set(samples)):
+        total += value
+    return total
+
+
+def fsum_sorted(samples) -> float:
+    return math.fsum(sorted({s * 2.0 for s in samples}))
+
+
+def configured_seed(config) -> int:
+    return config.seed

@@ -1,0 +1,79 @@
+"""Committed-baseline mechanism: load, apply, ratchet, write."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.rules import Violation
+
+
+def v(path="src/m.py", line=1, rule="SIM001"):
+    return Violation(path=path, line=line, col=0, rule_id=rule, message="msg")
+
+
+def entry(path="src/m.py", rule="SIM001", count=1):
+    return BaselineEntry(path=path, rule=rule, count=count, justification="accepted")
+
+
+def test_apply_demotes_up_to_count_in_order():
+    violations = [v(line=1), v(line=2), v(line=3)]
+    errors, baselined, stale = apply_baseline(violations, {("src/m.py", "SIM001"): entry(count=2)})
+    assert [x.line for x in baselined] == [1, 2]
+    assert [x.line for x in errors] == [3]
+    assert stale == []
+
+
+def test_unmatched_entries_are_reported_stale():
+    errors, baselined, stale = apply_baseline([v()], {("src/m.py", "SIM001"): entry(count=3)})
+    assert errors == [] and len(baselined) == 1
+    assert len(stale) == 1 and "shrink or delete" in stale[0]
+
+
+def test_rule_mismatch_is_not_demoted():
+    errors, baselined, _ = apply_baseline([v(rule="SIM002")], {("src/m.py", "SIM001"): entry()})
+    assert len(errors) == 1 and baselined == []
+
+
+def test_write_then_load_roundtrip(tmp_path):
+    path = tmp_path / "baseline.json"
+    count = write_baseline([v(line=1), v(line=2), v(rule="SIM005")], path, "legacy debt")
+    assert count == 2  # (path, rule) pairs, not findings
+    loaded = load_baseline(path)
+    assert loaded[("src/m.py", "SIM001")].count == 2
+    assert loaded[("src/m.py", "SIM005")].justification == "legacy debt"
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "not json{",
+        json.dumps({"version": 99, "entries": []}),
+        json.dumps({"version": 1, "entries": [{"path": "p", "rule": "R"}]}),
+        json.dumps(
+            {"version": 1, "entries": [{"path": "p", "rule": "R", "count": 0, "justification": "j"}]}
+        ),
+        json.dumps(
+            {
+                "version": 1,
+                "entries": [
+                    {"path": "p", "rule": "R", "count": 1, "justification": "j"},
+                    {"path": "p", "rule": "R", "count": 2, "justification": "j"},
+                ],
+            }
+        ),
+    ],
+)
+def test_malformed_baselines_raise(tmp_path, payload):
+    path = tmp_path / "baseline.json"
+    path.write_text(payload, encoding="utf-8")
+    with pytest.raises(BaselineError):
+        load_baseline(path)

@@ -1,0 +1,74 @@
+"""Dataflow rules SIM012-SIM015 over the flow fixture corpus."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import SCOPE_KERNEL, SCOPE_TEST, analyze_source
+
+FLOW = Path(__file__).parent / "fixtures" / "flow"
+
+#: fixtures are analyzed under a virtual kernel path so the path-scoped
+#: checks (kernel packages, rng exemption) see sim-kernel territory
+KERNEL_PATH = "src/repro/sim/fixture_under_test.py"
+
+
+def flow_ids(fixture: Path, path: str = KERNEL_PATH):
+    analysis = analyze_source(fixture.read_text(encoding="utf-8"), path, scope=SCOPE_KERNEL)
+    return {v.rule_id for v in analysis.violations}
+
+
+@pytest.mark.parametrize(
+    ("fixture", "rule"),
+    [
+        ("sim012_factory_indirection.py", "SIM012"),
+        ("sim013_stream_escape.py", "SIM013"),
+        ("sim014_set_accumulation.py", "SIM014"),
+        ("sim015_env_read.py", "SIM015"),
+    ],
+)
+def test_bad_fixture_fires_its_rule(fixture, rule):
+    assert rule in flow_ids(FLOW / "bad" / fixture)
+
+
+def test_sim013_catches_all_three_escapes():
+    source = (FLOW / "bad" / "sim013_stream_escape.py").read_text(encoding="utf-8")
+    analysis = analyze_source(source, KERNEL_PATH, scope=SCOPE_KERNEL)
+    assert sum(v.rule_id == "SIM013" for v in analysis.violations) == 3
+
+
+def test_sim015_counts_each_host_read_once():
+    source = (FLOW / "bad" / "sim015_env_read.py").read_text(encoding="utf-8")
+    analysis = analyze_source(source, KERNEL_PATH, scope=SCOPE_KERNEL)
+    assert sum(v.rule_id == "SIM015" for v in analysis.violations) == 3
+
+
+def test_good_fixture_is_flow_clean():
+    ids = flow_ids(FLOW / "good" / "clean_flow.py")
+    assert not ids & {"SIM012", "SIM013", "SIM014", "SIM015"}
+
+
+def test_kernel_rules_do_not_fire_outside_kernel_paths():
+    source = (FLOW / "bad" / "sim014_set_accumulation.py").read_text(encoding="utf-8")
+    analysis = analyze_source(source, "src/repro/experiments/driver.py", scope=SCOPE_KERNEL)
+    assert not any(v.rule_id in ("SIM014", "SIM015") for v in analysis.violations)
+
+
+def test_sim012_exempt_inside_rng_module():
+    source = (FLOW / "bad" / "sim012_factory_indirection.py").read_text(encoding="utf-8")
+    analysis = analyze_source(source, "src/repro/sim/rng.py", scope=SCOPE_KERNEL)
+    assert not any(v.rule_id == "SIM012" for v in analysis.violations)
+
+
+def test_test_scope_drops_flow_rules():
+    source = (FLOW / "bad" / "sim012_factory_indirection.py").read_text(encoding="utf-8")
+    analysis = analyze_source(source, KERNEL_PATH, scope=SCOPE_TEST)
+    assert analysis.violations == []
+
+
+def test_rebinding_clears_the_factory_tag():
+    source = "import numpy as np\nmake = np.random.default_rng\nmake = int\nvalue = make(3)\n"
+    analysis = analyze_source(source, KERNEL_PATH, scope=SCOPE_KERNEL)
+    assert not any(v.rule_id == "SIM012" for v in analysis.violations)

@@ -1,0 +1,54 @@
+"""SARIF 2.1.0 emission: required schema keys and level mapping."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import ALL_RULES
+from repro.analysis.rules import Violation
+from repro.analysis.sarif import SARIF_VERSION, to_sarif
+
+
+def v(rule="SIM001", line=3, col=4):
+    return Violation(path="src/repro/core/m.py", line=line, col=col, rule_id=rule, message="msg")
+
+
+def test_required_log_and_run_keys():
+    doc = to_sarif(ALL_RULES, [v()])
+    assert doc["$schema"].endswith("sarif-2.1.0.json")
+    assert doc["version"] == SARIF_VERSION == "2.1.0"
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "simlint"
+    assert {r["id"] for r in driver["rules"]} == {r.id for r in ALL_RULES}
+    for descriptor in driver["rules"]:
+        assert descriptor["shortDescription"]["text"]
+        assert descriptor["fullDescription"]["text"]
+    assert "SRCROOT" in run["originalUriBaseIds"]
+
+
+def test_result_location_shape_and_column_base():
+    doc = to_sarif(ALL_RULES, [v(line=3, col=4)])
+    (result,) = doc["runs"][0]["results"]
+    assert result["ruleId"] == "SIM001"
+    assert result["level"] == "error"
+    assert result["message"]["text"] == "msg"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/repro/core/m.py"
+    assert location["artifactLocation"]["uriBaseId"] == "SRCROOT"
+    # SARIF columns are 1-based; Violation.col is 0-based
+    assert location["region"] == {"startLine": 3, "startColumn": 5}
+
+
+def test_level_mapping_and_baseline_state():
+    doc = to_sarif(ALL_RULES, [v()], warnings=[v(rule="SIM016")], baselined=[v(rule="ARCH004")])
+    results = doc["runs"][0]["results"]
+    levels = {r["ruleId"]: r["level"] for r in results}
+    assert levels == {"SIM001": "error", "SIM016": "warning", "ARCH004": "note"}
+    (baselined,) = [r for r in results if r["ruleId"] == "ARCH004"]
+    assert baselined["baselineState"] == "unchanged"
+
+
+def test_document_is_json_serializable():
+    doc = to_sarif(ALL_RULES, [v()], warnings=[v(rule="SIM016")], baselined=[v(rule="SIM002")])
+    assert json.loads(json.dumps(doc)) == doc

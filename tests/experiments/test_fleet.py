@@ -11,15 +11,17 @@ import pytest
 
 from repro.core.meters import expected_platform_overhead
 from repro.core.queueing import sojourn_quantile
-from repro.experiments.fleet import FLEET_DAY, fleet_scenarios, fleet_sweep
+from repro.experiments.fleet import (
+    FLEET_DAY,
+    analytic_service_prediction,
+    fleet_scenarios,
+    fleet_sweep,
+    generate_fleet,
+)
 from repro.experiments.runner import run_openwhisk
 from repro.experiments.scenarios import Scenario
 from repro.serverless.config import ServerlessConfig
-from repro.workloads.fleet import (
-    analytic_service_prediction,
-    fleet_daily_queries,
-    generate_fleet,
-)
+from repro.workloads.fleet import fleet_daily_queries
 from repro.workloads.functionbench import benchmark_names
 from repro.workloads.traces import ConstantTrace
 
