@@ -2,7 +2,7 @@
 # The single development gate: every PR must pass this locally and in CI.
 #
 #   1. simlint  — the repo's own whole-program analyzer: sim-kernel
-#                 invariants SIM001..SIM016 plus the ARCH001..ARCH004
+#                 invariants SIM001..SIM017 plus the ARCH001..ARCH004
 #                 import-graph layering rules (DESIGN.md §7 and §12)
 #                 over src/ + tests/ + benchmarks/, with stale-ignore
 #                 auditing (--strict-ignores), the committed baseline
@@ -37,7 +37,16 @@
 #   8. fleet    — fleet smoke (DESIGN.md §11): a small fleet sweep must
 #                 be float.hex-identical across worker counts and every
 #                 member must complete queries.
-#   9. pytest   — the quick test tier (slow end-to-end benches excluded;
+#   9. dag      — call-graph gates (DESIGN.md §13): a single-node DAG
+#                 with deadline propagation off must be
+#                 float.hex-identical to the equivalent flat scenario;
+#                 and the retry-storm gate — at 2.5x overload on a
+#                 4-deep chain with a mid-chain brownout, the budgeted
+#                 resilience stack must hold the end-to-end violation
+#                 fraction under its bound while the naive unbounded
+#                 client measurably blows up, with both legs
+#                 float.hex-deterministic across worker counts.
+#  10. pytest   — the quick test tier (slow end-to-end benches excluded;
 #                 run `pytest` with no -m filter for the full tier).
 #
 # Usage: scripts/check.sh
@@ -249,6 +258,74 @@ if hexes(serial) != hexes(fanned):
 assert all(row[2] > 0 for row in serial.extras["per_service"]), "a fleet member completed nothing"
 print(f"fleet smoke: {serial.extras['total_completed']} completions, "
       "workers=2 float.hex-identical to serial")
+EOF
+
+echo "== dag: single-node flat identity + retry-storm acceptance =="
+python - <<'EOF'
+from repro.experiments.dag import VIOLATION_BOUND, storm_comparison
+from repro.experiments.graphrun import run_graph
+from repro.experiments.runner import run_amoeba
+from repro.experiments.scenarios import Scenario, sized_reservoir
+from repro.graph import GraphScenario, chain_topology
+from repro.workloads import ConstantTrace, benchmark
+
+# -- gate 1: a single-node DAG (propagation off, no retries) IS the flat
+#    scenario — same RNG stream names, same construction order
+day, rate, limit = 120.0, 3.0, 8
+trace = ConstantTrace(rate)
+reservoir = sized_reservoir(trace, day)
+graph_run = run_graph(GraphScenario(
+    name="identity", topology=chain_topology(1, "float"), trace=trace,
+    e2e_target=benchmark("float").qos_target, duration=day, seed=5,
+    retry=None, propagate_deadlines=False, iaas_peak_rate=rate,
+    reservoir=reservoir, limits=(limit,),
+))
+flat_run = run_amoeba(Scenario(
+    foreground=benchmark("float"), trace=trace, limit=limit, background=(),
+    duration=day, seed=5, iaas_peak_rate=rate, reservoir=reservoir,
+))
+
+def hexes(result):
+    return [x.hex() for x in result.services["float"].metrics.latencies.values()]
+
+if hexes(graph_run) != hexes(flat_run):
+    raise SystemExit("single-node DAG diverged from the equivalent flat scenario")
+print("single-node DAG is float.hex-identical to the flat scenario")
+
+# -- gate 2: retry-storm acceptance at 2.5x overload, 4-deep chain,
+#    mid-chain brownout — budgeted bounded, naive measurably not, both
+#    deterministic across worker counts
+serial = storm_comparison(depth=4, seed=0, day=120.0, workers=1, cache=False)
+fanned = storm_comparison(depth=4, seed=0, day=120.0, workers=2, cache=False)
+for leg in ("budgeted", "naive"):
+    a, b = serial[leg], fanned[leg]
+    if [x.hex() for x in a.latencies] != [x.hex() for x in b.latencies]:
+        raise SystemExit(f"{leg} leg diverged between workers=1 and workers=2")
+    if a.retries != b.retries:
+        raise SystemExit(f"{leg} retry accounting diverged across worker counts")
+budgeted, naive = serial["budgeted"], serial["naive"]
+if budgeted.violation_fraction > VIOLATION_BOUND:
+    raise SystemExit(
+        f"budgeted stack violated QoS on {budgeted.violation_fraction:.1%} of "
+        f"completed requests (bound {VIOLATION_BOUND:.0%})"
+    )
+if naive.violation_fraction < 0.25:
+    raise SystemExit(
+        f"naive baseline only violated {naive.violation_fraction:.1%} — the "
+        "storm gate is no longer discriminating"
+    )
+if naive.retries["attempted"] < 5 * max(1, budgeted.retries["attempted"]):
+    raise SystemExit(
+        f"naive retries ({naive.retries['attempted']}) are not >=5x the "
+        f"budgeted stack's ({budgeted.retries['attempted']}) — no storm"
+    )
+print(
+    f"retry-storm gate: budgeted viol {budgeted.violation_fraction:.1%} <= "
+    f"{VIOLATION_BOUND:.0%}, naive viol {naive.violation_fraction:.1%}, "
+    f"retries {budgeted.retries['attempted']} vs {naive.retries['attempted']} "
+    f"({naive.retries['attempted'] / max(1, budgeted.retries['attempted']):.0f}x), "
+    "both legs worker-count invariant"
+)
 EOF
 
 echo "== pytest: quick tier =="

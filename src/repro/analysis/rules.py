@@ -111,6 +111,16 @@ RULES: Tuple[Rule, ...] = (
         "module-level function and move per-run variation into the "
         "RunRequest data",
     ),
+    Rule(
+        "SIM017",
+        "unbounded retry loop or uncapped recursive fan-out in call-path code",
+        "retries amplify load exactly when the system is least able to "
+        "absorb it: a 'while True' retry loop with no attempt bound, or "
+        "direct recursion with no depth cap, turns one slow node into a "
+        "cascade (the retry-storm failure mode the dag resilience gate "
+        "measures) — bound attempts against a budget (see "
+        "graph.RetryPolicy) and compare recursion against a depth cap",
+    ),
 )
 
 RULE_IDS: Set[str] = {rule.id for rule in RULES}
@@ -184,6 +194,18 @@ _EXECUTOR_PACKAGES = {"experiments"}
 #: bare builtin map() stays in-process and is exempt
 _EXECUTOR_SUBMIT_METHODS = {"submit", "map"}
 
+#: path segments marking call-path packages whose retries must be
+#: budgeted (SIM017) — exactly the layers where one node's retries
+#: become another node's offered load, so an unbounded client storms
+_RETRY_SCOPED_PACKAGES = {"serverless", "iaas", "graph"}
+
+#: operand names that evidence an attempt/retry budget guard (SIM017)
+_RETRY_GUARD_RE = re.compile(r"(?i)^\w*(attempt|retr|tries|budget)\w*$")
+
+#: operand names that evidence a recursion depth cap (SIM017); an
+#: attempt budget also counts — bounded either way
+_DEPTH_GUARD_RE = re.compile(r"(?i)^\w*(depth|level|hop|attempt|retr|tries|budget)\w*$")
+
 #: names that look like a fault-injection probability/rate (SIM009);
 #: matched against module-level constant bindings only — FaultPlan
 #: *fields* (class scope) are the sanctioned home for these numbers
@@ -235,6 +257,7 @@ class InvariantVisitor(ast.NodeVisitor):
         self._annotations_apply = bool(_ANNOTATED_PACKAGES & _path_segments(path))
         self._queue_bounds_apply = bool(_BOUNDED_QUEUE_PACKAGES & _path_segments(path))
         self._executor_rules_apply = bool(_EXECUTOR_PACKAGES & _path_segments(path))
+        self._retry_rules_apply = bool(_RETRY_SCOPED_PACKAGES & _path_segments(path))
         #: scope stack of {name -> def line} for unpicklable callables
         #: (lambda bindings anywhere, nested defs) — SIM011 lookups walk it
         self._unpicklable_callables: List[Dict[str, int]] = [{}]
@@ -553,6 +576,8 @@ class InvariantVisitor(ast.NodeVisitor):
                 f"public function '{node.name}' lacks a return annotation; kernel APIs "
                 "must state their contract (use '-> None' for procedures)",
             )
+        if self._retry_rules_apply:
+            self._check_uncapped_recursion(node)
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_function(node)
@@ -575,6 +600,89 @@ class InvariantVisitor(ast.NodeVisitor):
             self._function_depth -= 1
             self._unpicklable_callables.pop()
             self._cancelled_stack.pop()
+
+    # -- SIM017 (unbounded retry loops / uncapped recursion) ---------------
+    def visit_While(self, node: ast.While) -> None:
+        """Flag ``while True:`` retry loops with no attempt-budget guard.
+
+        A retry loop is a constant-true loop that ``continue``s (re-runs
+        the attempt); it is budgeted if any comparison inside it names an
+        attempt/retry/budget-ish operand.  Loops that never ``continue``
+        (event loops, generators draining ``yield``) are not retry loops.
+        """
+        if (
+            self._retry_rules_apply
+            and isinstance(node.test, ast.Constant)
+            and bool(node.test.value)
+            and self._own_continues(node)
+            and not self._has_guard_compare(node, _RETRY_GUARD_RE)
+        ):
+            self._report(
+                node,
+                "SIM017",
+                "'while True' retry loop with no attempt budget; an unbounded "
+                "client re-offers load exactly when the callee is overloaded "
+                "and storms the call path — bound attempts (e.g. 'attempts < "
+                "policy.max_attempts') or justify with "
+                "'# simlint: ignore[SIM017]'",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _own_continues(loop: ast.While) -> bool:
+        """True iff the loop body has a ``continue`` targeting *this* loop."""
+        stack: List[ast.AST] = list(loop.body)
+        while stack:
+            stmt = stack.pop()
+            if isinstance(stmt, ast.Continue):
+                return True
+            if isinstance(
+                stmt,
+                (ast.While, ast.For, ast.AsyncFor, ast.FunctionDef, ast.AsyncFunctionDef),
+            ):
+                continue  # a continue in there targets the inner loop/frame
+            stack.extend(ast.iter_child_nodes(stmt))
+        return False
+
+    @staticmethod
+    def _has_guard_compare(root: ast.AST, pattern: "re.Pattern[str]") -> bool:
+        """True if any comparison under ``root`` names a guard-ish operand."""
+        for sub in ast.walk(root):
+            if isinstance(sub, ast.Compare):
+                for operand in [sub.left, *sub.comparators]:
+                    name = _terminal_name(operand)
+                    if name is not None and pattern.match(name):
+                        return True
+        return False
+
+    @staticmethod
+    def _is_recursive_call(func: ast.AST, name: str) -> bool:
+        """``name(...)`` or ``self/cls.name(...)`` — NOT ``other.name(...)``.
+
+        Delegation wrappers (``def invoke(self): return self.pool.invoke(...)``)
+        share the method name with the callee but do not recurse.
+        """
+        if isinstance(func, ast.Name):
+            return func.id == name
+        if isinstance(func, ast.Attribute) and func.attr == name:
+            return isinstance(func.value, ast.Name) and func.value.id in ("self", "cls")
+        return False
+
+    def _check_uncapped_recursion(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        """Flag direct recursion with no depth-cap comparison (SIM017)."""
+        calls_self = any(
+            isinstance(sub, ast.Call) and self._is_recursive_call(sub.func, node.name)
+            for sub in ast.walk(node)
+        )
+        if calls_self and not self._has_guard_compare(node, _DEPTH_GUARD_RE):
+            self._report(
+                node,
+                "SIM017",
+                f"'{node.name}' recurses with no depth cap; recursive fan-out "
+                "without a bound turns one call into an unbounded cascade — "
+                "compare against a depth/level limit (or an attempt budget) "
+                "before recursing, or justify with '# simlint: ignore[SIM017]'",
+            )
 
     # -- SIM006 (bare except) ----------------------------------------------
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:

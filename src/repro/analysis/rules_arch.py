@@ -8,7 +8,7 @@ and telemetry together), so it sits near the top, directly under
 to top (imports everyone):
 
     sim, analysis < cluster, faults, overload < workloads < telemetry
-        < serverless, iaas < core < experiments
+        < serverless, iaas < core < graph < experiments
 
 Imports must flow strictly downward; two packages on the same layer may
 not import each other (that is how the ``workloads <-> core`` and
@@ -32,9 +32,9 @@ ARCH_RULES: Tuple[Rule, ...] = (
         "upward or lateral package import (layering violation)",
         "the Eq. 1-5 kernel stays pure because dependencies flow one way: "
         "sim < {cluster, faults, overload} < workloads < telemetry < "
-        "{serverless, iaas} < core < experiments; an upward or same-layer "
-        "import lets a lower layer observe composition-root state and "
-        "breaks the bit-identity argument for sharded runs",
+        "{serverless, iaas} < core < graph < experiments; an upward or "
+        "same-layer import lets a lower layer observe composition-root "
+        "state and breaks the bit-identity argument for sharded runs",
     ),
     Rule(
         "ARCH002",
@@ -82,7 +82,8 @@ LAYERS: Dict[str, int] = {
     "serverless": 4,
     "iaas": 4,
     "core": 5,
-    "experiments": 6,
+    "graph": 6,
+    "experiments": 7,
 }
 
 

@@ -41,7 +41,7 @@ from repro.overload import OverloadGovernor, OverloadPolicy
 from repro.serverless import ServerlessConfig, ServerlessPlatform
 from repro.sim import Environment, RngRegistry
 from repro.telemetry import ServiceMetrics
-from repro.workloads import LoadGenerator, MicroserviceSpec, Trace
+from repro.workloads import LoadGenerator, MicroserviceSpec, Query, Trace
 
 __all__ = ["AmoebaRuntime", "BackgroundService", "ManagedService"]
 
@@ -57,7 +57,9 @@ class ManagedService:
     engine: HybridExecutionEngine
     controller: DeploymentController
     surfaces: SurfaceSet
-    loadgen: LoadGenerator
+    #: None for call-graph interior nodes, whose arrivals come from
+    #: upstream completions instead of an open-loop generator
+    loadgen: Optional[LoadGenerator]
     overload: Optional[OverloadGovernor] = None
 
 
@@ -160,6 +162,8 @@ class AmoebaRuntime:
         limit: Optional[int] = None,
         sizing_rate: Optional[float] = None,
         reservoir: Optional[int] = None,
+        router: Optional[Callable[[Query], None]] = None,
+        generate_load: bool = True,
     ) -> ManagedService:
         """Put one microservice under Amoeba management.
 
@@ -172,6 +176,14 @@ class AmoebaRuntime:
         ``reservoir`` overrides the latency-reservoir capacity so QoS
         gates stay exact for scenarios expecting more than the default
         20k completions.
+
+        Call-graph wiring: ``router`` replaces ``engine.route`` as the
+        load generator's submit target (the graph orchestrator stamps
+        deadline budgets there before routing), and
+        ``generate_load=False`` skips the generator entirely for
+        interior nodes whose arrivals are upstream completions.  With
+        both left at their defaults the wiring — and every RNG stream
+        draw — is identical to the pre-graph runtime.
         """
         if spec.name in self.services or spec.name in self.background:
             raise ValueError(f"service {spec.name!r} already added")
@@ -224,7 +236,10 @@ class AmoebaRuntime:
         controller = DeploymentController(
             self.env, spec, engine, self.monitor, self.config, guard=guard
         )
-        loadgen = LoadGenerator(self.env, spec.name, trace, engine.route, self.rng)
+        loadgen = None
+        if generate_load:
+            submit = router if router is not None else engine.route
+            loadgen = LoadGenerator(self.env, spec.name, trace, submit, self.rng)
         managed = ManagedService(
             spec=spec,
             trace=trace,

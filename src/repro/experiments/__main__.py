@@ -55,6 +55,12 @@ def _fleet(**kw):
 
     return fleet_sweep(**kw)
 
+
+def _dag(**kw):
+    from repro.experiments.dag import dag_sweep
+
+    return dag_sweep(**kw)
+
 #: target name -> (callable, accepts day/seed kwargs)
 TARGETS = {
     "table2": (lambda **kw: F.table2_setup(), False),
@@ -81,6 +87,7 @@ TARGETS = {
     "chaos": (_chaos, True),
     "overload": (_overload, True),
     "fleet": (_fleet, True),
+    "dag": (_dag, True),
 }
 
 
@@ -97,6 +104,9 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--services", type=int, default=100,
                         help="fleet size (fleet target only)")
+    parser.add_argument("--depth", type=int, default=None,
+                        help="single chain depth instead of the default "
+                        "ablation depths (dag target only)")
     parser.add_argument("--daily-queries", type=float, default=5_000_000.0,
                         help="aggregate fleet volume, queries/day (fleet "
                         "target only)")
@@ -139,12 +149,14 @@ def main(argv=None) -> int:
         if takes_day:
             if args.day is not None:
                 kwargs["day"] = args.day
-            elif name != "fleet":
+            elif name not in ("fleet", "dag"):
                 kwargs["day"] = F.FIG_DAY
-            # fleet without --day uses its own FLEET_DAY default
+            # fleet/dag without --day use their own shorter defaults
         if name == "fleet":
             kwargs["services"] = args.services
             kwargs["daily_queries"] = args.daily_queries
+        if name == "dag" and args.depth is not None:
+            kwargs["depths"] = (args.depth,)
         result = fn(**kwargs)
         print(result.text())
         if args.export:

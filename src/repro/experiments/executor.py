@@ -41,11 +41,13 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core import AmoebaConfig
 from repro.experiments.cache import RunCache, fingerprint
+from repro.experiments.graphrun import run_graph
 from repro.experiments.runner import (
     RunResult,
     run_amoeba,
@@ -53,6 +55,7 @@ from repro.experiments.runner import (
     run_openwhisk,
 )
 from repro.experiments.scenarios import Scenario
+from repro.graph import GraphScenario
 from repro.serverless import ServerlessConfig
 
 __all__ = [
@@ -69,7 +72,7 @@ __all__ = [
 #: environment knob for the default worker count
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 
-_SYSTEMS = ("amoeba", "nameko", "openwhisk")
+_SYSTEMS = ("amoeba", "nameko", "openwhisk", "graph")
 
 
 @dataclass(frozen=True)
@@ -77,13 +80,16 @@ class RunRequest:
     """One independent, fully seeded run: pure data, picklable.
 
     ``system`` selects the runner (``amoeba`` / ``nameko`` /
-    ``openwhisk``); ``variant``, ``guard`` and ``config`` only apply to
-    Amoeba runs, ``serverless_config`` only to OpenWhisk runs.  ``seed``
+    ``openwhisk`` / ``graph``); ``variant`` only applies to Amoeba runs,
+    ``config`` to Amoeba and graph runs, ``serverless_config`` to
+    OpenWhisk runs.  A ``graph`` request carries a
+    :class:`~repro.graph.GraphScenario`; every other system carries a
+    flat :class:`~repro.experiments.scenarios.Scenario`.  ``seed``
     overrides the scenario's seed, exactly like the runner arguments.
     """
 
     system: str
-    scenario: Scenario
+    scenario: Union[Scenario, GraphScenario]
     variant: str = "full"
     guard: bool = True
     seed: Optional[int] = None
@@ -93,15 +99,22 @@ class RunRequest:
     def __post_init__(self) -> None:
         if self.system not in _SYSTEMS:
             raise ValueError(f"unknown system {self.system!r}; expected one of {_SYSTEMS}")
-        if self.system != "amoeba" and (self.variant != "full" or self.config is not None):
-            raise ValueError(f"variant/config only apply to amoeba runs, not {self.system!r}")
+        if self.system != "amoeba" and self.variant != "full":
+            raise ValueError(f"variant only applies to amoeba runs, not {self.system!r}")
+        if self.system not in ("amoeba", "graph") and self.config is not None:
+            raise ValueError(f"config only applies to amoeba/graph runs, not {self.system!r}")
         if self.system != "openwhisk" and self.serverless_config is not None:
             raise ValueError(f"serverless_config only applies to openwhisk runs, not {self.system!r}")
+        if self.system == "graph" and not isinstance(self.scenario, GraphScenario):
+            raise TypeError(f"graph runs need a GraphScenario, got {type(self.scenario).__name__}")
+        if self.system != "graph" and isinstance(self.scenario, GraphScenario):
+            raise TypeError(f"{self.system!r} runs need a flat Scenario, not a GraphScenario")
 
 
 def execute_request(request: RunRequest) -> RunResult:
     """Execute one request (module-level so it pickles to worker processes)."""
     if request.system == "amoeba":
+        assert isinstance(request.scenario, Scenario)
         return run_amoeba(
             request.scenario,
             variant=request.variant,
@@ -109,6 +122,12 @@ def execute_request(request: RunRequest) -> RunResult:
             guard=request.guard,
             seed=request.seed,
         )
+    if request.system == "graph":
+        assert isinstance(request.scenario, GraphScenario)
+        return run_graph(
+            request.scenario, seed=request.seed, config=request.config, guard=request.guard
+        )
+    assert isinstance(request.scenario, Scenario)
     if request.system == "nameko":
         return run_nameko(request.scenario, seed=request.seed)
     return run_openwhisk(request.scenario, seed=request.seed, config=request.serverless_config)
@@ -202,15 +221,87 @@ def run_many(
             if live_cache is not None:
                 live_cache.put(request, results[key], key=key)
     else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
-            futures = [(key, request, pool.submit(execute_request, request)) for key, request in misses]
+        _run_parallel(misses, workers, results, live_cache)
+    return [results[key] for key in keys]
+
+
+def _scenario_label(request: RunRequest) -> str:
+    """Human-readable scenario identity for error messages."""
+    label = getattr(request.scenario, "name", None)
+    if label is None:
+        label = getattr(getattr(request.scenario, "foreground", None), "name", "?")
+    return str(label)
+
+
+#: pool rebuilds tolerated before the remaining misses run inline — a
+#: worker that keeps dying (OOM-killed, segfault in a native lib) must
+#: not wedge the sweep, and the inline fallback cannot be killed by the
+#: pure-Python workloads themselves
+_MAX_POOL_REBUILDS = 3
+
+
+def _run_parallel(
+    misses: List[Tuple[str, RunRequest]],
+    workers: int,
+    results: Dict[str, RunResult],
+    live_cache: Optional[RunCache],
+) -> None:
+    """Fan the misses over a process pool, surviving dead workers.
+
+    A worker killed mid-run (OOM killer, hard crash) breaks the whole
+    ``ProcessPoolExecutor`` — every uncollected future raises
+    :class:`BrokenProcessPool`, including requests that never ran.
+    Collecting per-future instead of failing the batch keeps every
+    result that *did* complete, then the uncollected requests are
+    resubmitted to a fresh pool (a transient kill just re-runs; runs are
+    independent and seeded, so a re-run is bit-identical).  After
+    ``_MAX_POOL_REBUILDS`` rebuilds the survivors execute inline so a
+    request that reliably kills its worker surfaces its own error —
+    attributed to that request — instead of hanging the sweep or
+    corrupting the submission-order merge.
+    """
+    pending = misses
+    rebuilds = 0
+    while pending:
+        uncollected: List[Tuple[str, RunRequest]] = []
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = [
+                (key, request, pool.submit(execute_request, request)) for key, request in pending
+            ]
             # submission-order merge: completion order cannot leak into
             # the output, so any worker count reproduces the serial batch
             for key, request, future in futures:
-                results[key] = future.result()
+                try:
+                    results[key] = future.result()
+                except BrokenProcessPool:
+                    uncollected.append((key, request))
+                    continue
                 if live_cache is not None:
                     live_cache.put(request, results[key], key=key)
-    return [results[key] for key in keys]
+        if not uncollected:
+            return
+        rebuilds += 1
+        if rebuilds > _MAX_POOL_REBUILDS:
+            break
+        pending = uncollected
+    # last resort: inline, with per-request error attribution
+    errors: List[Tuple[RunRequest, BaseException]] = []
+    for key, request in uncollected:
+        try:
+            results[key] = execute_request(request)
+        except Exception as exc:  # noqa: BLE001 - re-raised below with context
+            errors.append((request, exc))
+            continue
+        if live_cache is not None:
+            live_cache.put(request, results[key], key=key)
+    if errors:
+        detail = "; ".join(
+            f"{req.system}/{_scenario_label(req)} (seed {req.seed}): {exc!r}"
+            for req, exc in errors
+        )
+        raise RuntimeError(
+            f"{len(errors)} request(s) kept killing pool workers and failed inline: {detail}"
+        ) from errors[0][1]
 
 
 def run_systems(

@@ -1,0 +1,72 @@
+"""End-to-end call-graph runs (the ``dag`` workload family).
+
+:func:`run_graph` is the graph counterpart of
+:func:`~repro.experiments.runner.run_amoeba`: one fully seeded
+:class:`~repro.graph.GraphScenario` in, one
+:class:`~repro.experiments.runner.RunResult` out — per-node
+ServiceResults exactly like a flat run's, plus the end-to-end
+:class:`~repro.graph.GraphSummary` on ``result.graph``.  Requests are
+pure data and results picklable, so graph runs ride the same
+``run_many`` pool / run-cache machinery as every other system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core import AmoebaConfig
+from repro.graph import GraphRuntime, GraphScenario
+from repro.experiments.runner import RunResult, ServiceResult
+
+__all__ = ["run_graph"]
+
+
+def run_graph(
+    scenario: GraphScenario,
+    seed: Optional[int] = None,
+    config: Optional[AmoebaConfig] = None,
+    guard: bool = True,
+) -> RunResult:
+    """Run one call-graph scenario under full Amoeba management."""
+    gr = GraphRuntime(scenario, seed=seed, config=config, guard=guard)
+    gr.run()
+    rt = gr.rt
+
+    services: Dict[str, ServiceResult] = {}
+    for name, managed in gr.services.items():
+        iaas_ledger = managed.iaas.ledger
+        sls_ledger = rt.serverless.function_ledger(name)
+        fs = rt.serverless.pool.state(name)
+        services[name] = ServiceResult(
+            spec=managed.spec,
+            metrics=managed.metrics,
+            usage=rt.service_usage(name),
+            cpu_timelines=[
+                (iaas_ledger.cpu_timeline.times(), iaas_ledger.cpu_timeline.values()),
+                (sls_ledger.cpu_timeline.times(), sls_ledger.cpu_timeline.values()),
+            ],
+            mem_timelines=[
+                (iaas_ledger.mem_timeline.times(), iaas_ledger.mem_timeline.values()),
+                (sls_ledger.mem_timeline.times(), sls_ledger.mem_timeline.values()),
+            ],
+            mode_timeline=[(t, m.value) for t, m in managed.engine.mode_timeline],
+            switch_events=[(t, m.value, load) for t, m, load in managed.engine.switch_events],
+            decisions=list(managed.controller.decisions),
+            usage_iaas=iaas_ledger.snapshot(),
+            usage_serverless=sls_ledger.snapshot(),
+            serverless_invocations=fs.completions,
+            serverless_busy_seconds=fs.busy_seconds,
+            container_memory_mb=rt.serverless.config.container_memory_mb,
+            queue_depth_timelines=[
+                (fs.queue_depth.times(), fs.queue_depth.values()),
+                (managed.iaas.queue_depth.times(), managed.iaas.queue_depth.values()),
+            ],
+        )
+    return RunResult(
+        system="graph",
+        duration=scenario.duration,
+        services=services,
+        meter_overhead=rt.meter_overhead(),
+        meter_overheads=rt.monitor.meter_overheads(),
+        graph=gr.summary(),
+    )

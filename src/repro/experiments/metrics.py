@@ -101,6 +101,9 @@ class OverloadSummary:
     drops: Dict[str, int] = field(default_factory=dict)
     #: governor-side rejections by reason, both platforms combined
     rejections: Dict[str, int] = field(default_factory=dict)
+    #: foreground retries by kind — the unified ``retries{kind}`` family
+    #: (attempted/exhausted/deadline_abandoned) from ServiceMetrics
+    retries: Dict[str, int] = field(default_factory=dict)
     #: queries the frontend/dispatch rejected + queues shed (foreground)
     total_rejections: int = 0
     #: breaker lifecycle counters

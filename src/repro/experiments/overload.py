@@ -95,6 +95,9 @@ def overload_sweep(
                 ov.drops.get("admission", 0),
                 ov.drops.get("shed", 0),
                 ov.drops.get("breaker", 0),
+                ov.retries.get("attempted", 0),
+                ov.retries.get("exhausted", 0),
+                ov.retries.get("deadline_abandoned", 0),
                 shed_frac,
                 _fg_p95(off, name),
                 _fg_p95(on, name),
@@ -120,6 +123,9 @@ def overload_sweep(
             "d_admit",
             "d_shed",
             "d_breaker",
+            "r_attempted",
+            "r_exhausted",
+            "r_deadline",
             "shed_frac",
             "p95_off",
             "p95_on",
@@ -134,8 +140,9 @@ def overload_sweep(
         notes=(
             "p95/viol are over admitted (completed) queries; *_off is the "
             "disabled-policy baseline at the same factor and seed.  d_* is "
-            "the unified dropped{reason} family; peakQ_* the exact "
-            "queue-depth high-water mark per platform."
+            "the unified dropped{reason} family, r_* the retries{kind} "
+            "family; peakQ_* the exact queue-depth high-water mark per "
+            "platform."
         ),
         extras={"runs": runs, "policy": policy},
     )

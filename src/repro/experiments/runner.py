@@ -18,6 +18,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.pricing import CostBreakdown, PricingModel
+    from repro.graph import GraphSummary
     from repro.serverless import ServerlessConfig
 
 from repro.cluster import UsageSample
@@ -100,6 +101,8 @@ class RunResult:
     faults: Optional[FaultSummary] = None
     #: overload-layer outcome, Amoeba only (None when no policy attached)
     overload: Optional[OverloadSummary] = None
+    #: end-to-end call-graph outcome (graph runs only)
+    graph: Optional["GraphSummary"] = None
 
     def foreground(self, scenario: Scenario) -> ServiceResult:
         """The scenario's foreground service result."""
@@ -222,6 +225,7 @@ def run_amoeba(
             policy_enabled=gov.policy.enabled,
             drops=dict(fg.metrics.drops),
             rejections=dict(gov.rejections),
+            retries=dict(fg.metrics.retries),
             total_rejections=gov.total_rejections,
             breaker_trips=breaker.trips if breaker is not None else 0,
             breaker_reopens=breaker.reopens if breaker is not None else 0,

@@ -1,0 +1,108 @@
+"""Deadline-budget propagation down the call graph's critical path.
+
+The end-to-end target ``T`` a user request carries must be split across
+the nodes it visits.  Two quantities drive everything here:
+
+* ``downstream_reservation(v)`` — the critical-path cost *below* node
+  ``v`` (max over out-edges of network + child cost + child's own
+  reservation).  A query arriving at ``v`` with absolute deadline ``D``
+  therefore has local budget ``D - now - reservation(v)``: time ``v``
+  may spend before the downstream work is mathematically late.  That is
+  the budget the admission check and the shed check see (via
+  ``Query.local_budget``), not the global target.
+
+* ``node_qos_targets`` — a static per-node split of ``T`` proportional
+  to each node's share of the critical path through it.  The controller
+  and governor are per-service and reason about a scalar QoS target;
+  this gives them one that is consistent with the end-to-end goal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.graph.topology import GraphTopology
+
+__all__ = [
+    "critical_path_cost",
+    "downstream_reservation",
+    "node_costs",
+    "node_qos_targets",
+    "upstream_cost",
+]
+
+#: a per-node QoS target must stay strictly above the node's execution
+#: time (MicroserviceSpec invariant); this is the enforced headroom
+QOS_FLOOR_FACTOR = 1.5
+
+
+def node_costs(topology: GraphTopology) -> Dict[str, float]:
+    """Expected one-attempt service cost of each node (spec exec time)."""
+    return {n.name: n.spec().exec_time for n in topology.nodes}
+
+
+def downstream_reservation(
+    topology: GraphTopology, costs: Optional[Dict[str, float]] = None
+) -> Dict[str, float]:
+    """Critical-path seconds reserved below each node (0 for sinks).
+
+    Reverse-topological pass:
+    ``res[v] = max over (v->c) of network(v,c) + cost(c) + res[c]``.
+    """
+    if costs is None:
+        costs = node_costs(topology)
+    res: Dict[str, float] = {}
+    for name in reversed(topology.topo_order()):
+        res[name] = max(
+            (e.network_s + costs[e.dst] + res[e.dst] for e in topology.children(name)),
+            default=0.0,
+        )
+    return res
+
+
+def upstream_cost(
+    topology: GraphTopology, costs: Optional[Dict[str, float]] = None
+) -> Dict[str, float]:
+    """Critical-path seconds spent *before* each node starts (0 for the root).
+
+    Forward pass: ``up[v] = max over (p->v) of up[p] + cost(p) + network``.
+    """
+    if costs is None:
+        costs = node_costs(topology)
+    up: Dict[str, float] = {}
+    for name in topology.topo_order():
+        up[name] = max(
+            (up[e.src] + costs[e.src] + e.network_s for e in topology.parents(name)),
+            default=0.0,
+        )
+    return up
+
+
+def critical_path_cost(topology: GraphTopology) -> float:
+    """Total service + network cost along the longest root-to-sink path."""
+    costs = node_costs(topology)
+    root = topology.root
+    return costs[root] + downstream_reservation(topology, costs)[root]
+
+
+def node_qos_targets(topology: GraphTopology, e2e_target: float) -> Dict[str, float]:
+    """Split an end-to-end target into per-node scalar QoS targets.
+
+    Node ``v`` gets ``T * cost(v) / cp_through(v)`` where
+    ``cp_through(v) = up(v) + cost(v) + res(v)`` is the critical path
+    through ``v`` — i.e. its fair share of the budget along the tightest
+    path it sits on.  The result is clamped to
+    ``QOS_FLOOR_FACTOR * exec_time`` so the derived spec stays valid
+    even for an infeasibly tight ``T``.
+    """
+    if e2e_target <= 0:
+        raise ValueError(f"e2e_target must be positive, got {e2e_target}")
+    costs = node_costs(topology)
+    res = downstream_reservation(topology, costs)
+    up = upstream_cost(topology, costs)
+    targets: Dict[str, float] = {}
+    for name, cost in costs.items():
+        through = up[name] + cost + res[name]
+        share = e2e_target * cost / through
+        targets[name] = max(share, QOS_FLOOR_FACTOR * cost)
+    return targets

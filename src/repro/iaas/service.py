@@ -198,6 +198,7 @@ class IaaSService:
                 busy=self.workers.count,
                 capacity=self.workers.capacity,
                 now=self.env.now,
+                deadline=query.local_budget(self.env.now),
             )
             if reason is not None:
                 self._drop(query, reason)
@@ -216,6 +217,7 @@ class IaaSService:
         assert self.overload is not None
         if not query.canary:
             self.overload.note_rejection(reason, self.env.now)
+        query.notify_done()
 
     def _serve(self, query: Query):
         spec = self.spec
@@ -233,7 +235,7 @@ class IaaSService:
         self.queue_depth.record(self.env.now, float(self.workers.queue_length))
         wait = self.env.now - t_q
         query.breakdown["queue"] = wait
-        if gov is not None and gov.should_shed(wait):
+        if gov is not None and gov.should_shed(wait, target=query.local_budget(t_q)):
             # the query's accumulated queue wait already blew its budget:
             # free the worker slot for one that can still meet QoS
             self.workers.release(req)
@@ -245,6 +247,7 @@ class IaaSService:
                 self.metrics.record_drop(query, "shed")
             if not query.canary:
                 gov.note_rejection("shed", self.env.now)
+            query.notify_done()
             self.in_flight -= 1
             self._maybe_release()
             return
@@ -258,6 +261,7 @@ class IaaSService:
             self.metrics.record_completion(query)
         if gov is not None and not query.canary:
             gov.note_outcome(query.latency <= spec.qos_target, self.env.now)
+        query.notify_done()
         self.completions += 1
         self.in_flight -= 1
         self._maybe_release()

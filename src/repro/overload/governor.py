@@ -55,18 +55,33 @@ class OverloadGovernor:
 
     # -- admission -----------------------------------------------------
 
-    def admit_serverless(self, queued: int, busy: int, capacity: int, now: float) -> Optional[str]:
+    def admit_serverless(
+        self, queued: int, busy: int, capacity: int, now: float, deadline: Optional[float] = None
+    ) -> Optional[str]:
         """Admission verdict at the serverless frontend.
 
-        Returns ``None`` to admit, else the drop reason.
+        Returns ``None`` to admit, else the drop reason.  ``deadline``
+        is a per-query *remaining* end-to-end budget (call-graph runs);
+        None keeps the service's own QoS target, which is bit-identical
+        to the pre-graph behaviour.
         """
-        return self._admit(queued, busy, capacity, self.mu_serverless, now)
+        return self._admit(queued, busy, capacity, self.mu_serverless, now, deadline)
 
-    def admit_iaas(self, queued: int, busy: int, capacity: int, now: float) -> Optional[str]:
+    def admit_iaas(
+        self, queued: int, busy: int, capacity: int, now: float, deadline: Optional[float] = None
+    ) -> Optional[str]:
         """Admission verdict at IaaS dispatch.  ``None`` admits."""
-        return self._admit(queued, busy, capacity, self.mu_iaas, now)
+        return self._admit(queued, busy, capacity, self.mu_iaas, now, deadline)
 
-    def _admit(self, queued: int, busy: int, capacity: int, mu: float, now: float) -> Optional[str]:
+    def _admit(
+        self,
+        queued: int,
+        busy: int,
+        capacity: int,
+        mu: float,
+        now: float,
+        deadline: Optional[float] = None,
+    ) -> Optional[str]:
         policy = self.policy
         if not policy.enabled:
             return None
@@ -81,14 +96,29 @@ class OverloadGovernor:
         if policy.admission_control:
             if capacity < 1:
                 return "admission"
-            if not meets_deadline(queued, busy, capacity, mu, self.qos_target, policy.admission_slack):
+            target = self.qos_target if deadline is None else deadline
+            if target <= 0.0:
+                # dead on arrival: the propagated budget is already spent
+                return "admission"
+            if not meets_deadline(queued, busy, capacity, mu, target, policy.admission_slack):
                 return "admission"
         return None
 
-    def should_shed(self, waited: float) -> bool:
-        """Has a dequeued query already burned its queue-wait budget?"""
+    def should_shed(self, waited: float, target: Optional[float] = None) -> bool:
+        """Has a dequeued query already burned its queue-wait budget?
+
+        ``target`` substitutes a per-query remaining budget (measured at
+        enqueue time) for the service QoS target when a call-graph run
+        propagates deadlines; None keeps the precomputed budget.
+        """
         policy = self.policy
-        return policy.enabled and policy.shed_expired and waited > self.wait_budget
+        if not (policy.enabled and policy.shed_expired):
+            return False
+        if target is None:
+            return waited > self.wait_budget
+        if target <= 0.0:
+            return True
+        return waited > policy.wait_budget(target)
 
     # -- signals -------------------------------------------------------
 

@@ -61,6 +61,7 @@ class Frontend:
                 busy=fs.n_busy,
                 capacity=self.pool.n_max(query.service),
                 now=self.env.now,
+                deadline=query.local_budget(self.env.now),
             )
             if reason is not None:
                 self._reject(fs, query, reason)
@@ -92,3 +93,4 @@ class Frontend:
         assert fs.overload is not None
         if not query.canary:
             fs.overload.note_rejection(reason, self.env.now)
+        query.notify_done()

@@ -203,7 +203,9 @@ class ContainerPool:
         while fs.queue:
             query, t_enq = fs.queue.popleft()
             self._note_queue(fs)
-            if gov is not None and gov.should_shed(self.env.now - t_enq):
+            if gov is not None and gov.should_shed(
+                self.env.now - t_enq, target=query.local_budget(t_enq)
+            ):
                 self._shed(fs, query, self.env.now - t_enq)
                 continue
             return query, t_enq
@@ -219,6 +221,7 @@ class ContainerPool:
             fs.metrics.record_drop(query, "shed")
         if fs.overload is not None and not query.canary:
             fs.overload.note_rejection("shed", self.env.now)
+        query.notify_done()
 
     def _can_launch(self, fs: FunctionState) -> bool:
         cfg = self.config
@@ -422,7 +425,7 @@ class ContainerPool:
         if query.attempts <= plan.max_query_retries:
             self.faults.stats.query_retries += 1
             if fs.metrics is not None:
-                fs.metrics.record_retry()
+                fs.metrics.record_retry("attempted")
             backoff = plan.retry_backoff_s * query.attempts
             self.env.schedule_callback(max(backoff, 1e-6), lambda: self.submit(query))
         else:
@@ -431,9 +434,11 @@ class ContainerPool:
             query.t_complete = self.env.now
             query.served_by = "serverless"
             if fs.metrics is not None:
+                fs.metrics.record_retry("exhausted")
                 fs.metrics.record_drop(query, "crash")
             if fs.overload is not None and not query.canary:
                 fs.overload.note_outcome(False, self.env.now)
+            query.notify_done()
         self._pump(fs)
 
     def _complete(
@@ -454,6 +459,7 @@ class ContainerPool:
             fs.metrics.record_completion(query)
         if fs.overload is not None and not query.canary:
             fs.overload.note_outcome(query.latency <= fs.spec.qos_target, self.env.now)
+        query.notify_done()
         fs.completions += 1
         fs.busy_seconds += load_t + exec_t + post_t
         container.invocations += 1

@@ -19,10 +19,17 @@ from repro.overload import DROP_REASONS
 from repro.sim import OnlineStats, P2Quantile, ReservoirSample
 from repro.workloads import Query
 
-__all__ = ["DROP_REASONS", "LoadEstimator", "ServiceMetrics"]
+__all__ = ["DROP_REASONS", "RETRY_KINDS", "LoadEstimator", "ServiceMetrics"]
 
 #: the latency stages platforms may report in Query.breakdown
 STAGES = ("proc", "queue", "cold", "load", "exec", "post")
+
+#: the unified ``retries{kind}`` counter family, next to ``drops{reason}``:
+#: ``attempted`` (a retry was actually issued), ``exhausted`` (a query
+#: abandoned because its attempt budget ran out), ``deadline_abandoned``
+#: (a retry deterministically given up because the remaining end-to-end
+#: budget could no longer cover a downstream attempt)
+RETRY_KINDS = ("attempted", "exhausted", "deadline_abandoned")
 
 
 class LoadEstimator:
@@ -91,8 +98,10 @@ class ServiceMetrics:
         self.recent: Deque[float] = deque(maxlen=128)
         #: sim time of the latest canary completion (stale-telemetry basis)
         self.last_canary_time: Optional[float] = None
-        #: crash-retry resubmissions of this service's queries
-        self.retries = 0
+        #: the unified ``retries{kind}`` family: attempted (a retry was
+        #: issued), exhausted (attempt budget spent), deadline_abandoned
+        #: (deterministic deadline-aware give-up)
+        self.retries: Dict[str, int] = {kind: 0 for kind in RETRY_KINDS}
         #: total dropped user queries (sum over :attr:`drops`)
         self.failed = 0
         #: the unified ``dropped{reason}`` family: crash (retry
@@ -145,9 +154,24 @@ class ServiceMetrics:
             except KeyError:
                 self.served_by[server] = 1
 
-    def record_retry(self) -> None:
-        """Count one crash-retry resubmission (fault injection)."""
-        self.retries += 1
+    def record_retry(self, kind: str = "attempted") -> None:
+        """Count one retry event in the ``retries{kind}`` family.
+
+        ``attempted`` for every retry actually issued (crash-retry
+        resubmissions, graph edge retries), ``exhausted`` when a query is
+        abandoned because its attempt budget ran out, and
+        ``deadline_abandoned`` when a deadline-aware policy gives up
+        because the remaining end-to-end budget can no longer cover a
+        downstream attempt.
+        """
+        if kind not in self.retries:
+            raise ValueError(f"unknown retry kind {kind!r}")
+        self.retries[kind] += 1
+
+    @property
+    def total_retries(self) -> int:
+        """Sum over the ``retries{kind}`` family."""
+        return sum(self.retries.values())
 
     def record_drop(self, query: Query, reason: str) -> None:
         """Count one dropped user query in the ``dropped{reason}`` family.

@@ -42,6 +42,16 @@ class Query:
     attempts: int = 0
     #: True once the retry budget is spent and the query is dropped
     failed: bool = False
+    #: absolute end-to-end deadline propagated down a call graph; None
+    #: means no budget is attached and admission falls back to the
+    #: service's own QoS target (the flat, pre-graph behaviour)
+    t_deadline: Optional[float] = None
+    #: critical-path time reserved for work *downstream* of this node,
+    #: subtracted from the remaining budget before admission looks at it
+    reserved: float = 0.0
+    #: fired exactly once when the query reaches a terminal state
+    #: (completion or any drop); the call-graph orchestrator's join hook
+    on_done: Optional[Callable[["Query"], None]] = None
 
     @property
     def latency(self) -> float:
@@ -49,6 +59,23 @@ class Query:
         if self.t_complete is None:
             raise RuntimeError(f"query {self.qid} of {self.service!r} has not completed")
         return self.t_complete - self.t_submit
+
+    def local_budget(self, now: float) -> Optional[float]:
+        """Time this node may spend before the downstream reservation is at risk.
+
+        ``deadline - now - reserved``; None when no deadline is attached.
+        May be <= 0 for a query that is already dead on arrival.
+        """
+        if self.t_deadline is None:
+            return None
+        return self.t_deadline - now - self.reserved
+
+    def notify_done(self) -> None:
+        """Fire the terminal hook (at most once, even on double-settle)."""
+        cb = self.on_done
+        if cb is not None:
+            self.on_done = None
+            cb(self)
 
 
 class LoadGenerator:

@@ -1,0 +1,15 @@
+"""Deliberately broken: unbounded retry loop + uncapped recursive fan-out."""
+
+
+def call_with_retries(dispatch, request):
+    while True:
+        ok = dispatch(request)
+        if not ok:
+            continue
+        return ok
+
+
+def fan_out(node, dispatch):
+    dispatch(node)
+    for child in node.children:
+        fan_out(child, dispatch)

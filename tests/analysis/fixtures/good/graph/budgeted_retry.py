@@ -1,0 +1,19 @@
+"""Compliant call-path code: budgeted retries and depth-capped fan-out."""
+
+
+def call_with_retries(dispatch, request, max_attempts: int):
+    attempts = 0
+    while True:
+        attempts += 1
+        ok = dispatch(request)
+        if not ok and attempts < max_attempts:
+            continue
+        return ok
+
+
+def fan_out(node, dispatch, depth: int, max_depth: int):
+    if depth >= max_depth:
+        return
+    dispatch(node)
+    for child in node.children:
+        fan_out(child, dispatch, depth + 1, max_depth)

@@ -28,6 +28,7 @@ BAD_FIXTURES = {
     "SIM009": FIXTURES / "bad" / "sim009_fault_prob_constant.py",
     "SIM010": FIXTURES / "bad" / "serverless" / "sim010_unbounded_queue.py",
     "SIM011": FIXTURES / "bad" / "experiments" / "sim011_closure_submit.py",
+    "SIM017": FIXTURES / "bad" / "graph" / "sim017_retry_storm.py",
 }
 
 GOOD_FIXTURES = [
@@ -36,6 +37,7 @@ GOOD_FIXTURES = [
     FIXTURES / "good" / "fault_plan_probs.py",
     FIXTURES / "good" / "serverless" / "bounded_queues.py",
     FIXTURES / "good" / "experiments" / "picklable_submit.py",
+    FIXTURES / "good" / "graph" / "budgeted_retry.py",
     FIXTURES / "allowed" / "experiments" / "__main__.py",
     FIXTURES / "allowed" / "sim" / "rng.py",
 ]
@@ -172,6 +174,72 @@ def test_module_level_def_submission_is_clean():
         "    return [pool.submit(execute, r) for r in requests]\n"
     )
     assert lint_source(source, "src/repro/experiments/executor.py") == []
+
+
+def test_retry_loop_rule_is_path_scoped_to_call_path_packages():
+    source = (
+        "def call(dispatch, request):\n"
+        "    while True:\n"
+        "        if not dispatch(request):\n"
+        "            continue\n"
+        "        return True\n"
+    )
+    assert lint_source(source, "src/repro/workloads/loadgen.py") == []
+    assert {v.rule_id for v in lint_source(source, "src/repro/graph/orchestrator.py")} == {
+        "SIM017"
+    }
+
+
+def test_budgeted_retry_loop_is_clean():
+    source = (
+        "def call(dispatch, request, budget: int):\n"
+        "    attempts = 0\n"
+        "    while True:\n"
+        "        attempts += 1\n"
+        "        if not dispatch(request) and attempts < budget:\n"
+        "            continue\n"
+        "        return True\n"
+    )
+    assert lint_source(source, "src/repro/graph/orchestrator.py") == []
+
+
+def test_event_loop_without_continue_is_not_a_retry_loop():
+    source = (
+        "def drain(queue_get):\n"
+        "    while True:\n"
+        "        item = queue_get()\n"
+        "        if item is None:\n"
+        "            break\n"
+    )
+    assert lint_source(source, "src/repro/graph/orchestrator.py") == []
+
+
+def test_delegation_wrapper_is_not_recursion():
+    source = (
+        "class Facade:\n"
+        "    def invoke(self, name):\n"
+        "        return self.pool.invoke(name)\n"
+    )
+    assert lint_source(source, "src/repro/serverless/platform.py") == []
+
+
+def test_depth_capped_recursion_is_clean():
+    source = (
+        "def fan_out(node, depth: int, max_depth: int):\n"
+        "    if depth >= max_depth:\n"
+        "        return\n"
+        "    for child in node.children:\n"
+        "        fan_out(child, depth + 1, max_depth)\n"
+    )
+    assert lint_source(source, "src/repro/graph/orchestrator.py") == []
+    uncapped = (
+        "def fan_out(node):\n"
+        "    for child in node.children:\n"
+        "        fan_out(child)\n"
+    )
+    assert {v.rule_id for v in lint_source(uncapped, "src/repro/graph/orchestrator.py")} == {
+        "SIM017"
+    }
 
 
 def test_time_comparison_against_string_is_not_flagged():

@@ -7,10 +7,14 @@ seeded.  The sweeps' own determinism gates then extend to the parallel
 path for free.
 """
 
+import multiprocessing
+import os
 import pickle
+import signal
 
 import pytest
 
+from repro.experiments import executor as executor_module
 from repro.experiments.cache import RunCache
 from repro.experiments.chaos import chaos_sweep
 from repro.experiments.executor import (
@@ -41,10 +45,26 @@ class TestRunRequest:
         with pytest.raises(ValueError, match="unknown system"):
             RunRequest(system="knative", scenario=scenario)
 
-    def test_variant_and_config_are_amoeba_only(self):
+    def test_variant_is_amoeba_only(self):
         scenario = default_scenario("float", day=60.0)
-        with pytest.raises(ValueError, match="variant/config"):
+        with pytest.raises(ValueError, match="variant only applies"):
             RunRequest(system="nameko", scenario=scenario, variant="nom")
+
+    def test_config_is_amoeba_or_graph_only(self):
+        from repro.core import AmoebaConfig
+
+        scenario = default_scenario("float", day=60.0)
+        with pytest.raises(ValueError, match="config only applies"):
+            RunRequest(system="nameko", scenario=scenario, config=AmoebaConfig())
+
+    def test_graph_system_requires_graph_scenario(self):
+        from repro.experiments.dag import dag_scenario
+
+        flat = default_scenario("float", day=60.0)
+        with pytest.raises(TypeError, match="GraphScenario"):
+            RunRequest(system="graph", scenario=flat)
+        with pytest.raises(TypeError, match="flat Scenario"):
+            RunRequest(system="amoeba", scenario=dag_scenario(2, day=60.0))
 
     def test_serverless_config_is_openwhisk_only(self):
         from repro.serverless.config import ServerlessConfig
@@ -167,6 +187,69 @@ class TestCachedSweeps:
         second = run_many([request], workers=1, cache=warm)
         assert warm.hits == 1 and warm.stores == 0
         assert _hexes(first[0], "float") == _hexes(second[0], "float")
+
+
+#: pid of the pytest process — the killer functions below use it to tell
+#: "I am a forked pool worker" (kill) from "I am the inline fallback in
+#: the parent" (run normally / raise an attributable error)
+_PARENT_PID = os.getpid()
+
+#: sentinel seed marking the one request that murders its worker
+_KILLER_SEED = 666
+
+_real_execute = executor_module.execute_request
+
+
+def _kill_worker_execute(request):
+    """SIGKILL the pool worker for the killer request; inline it succeeds."""
+    if request.seed == _KILLER_SEED and os.getpid() != _PARENT_PID:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _real_execute(request)
+
+
+def _always_fail_execute(request):
+    """The killer request dies in workers and raises inline (a hard failure)."""
+    if request.seed == _KILLER_SEED:
+        if os.getpid() != _PARENT_PID:
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise RuntimeError("this request fails everywhere")
+    return _real_execute(request)
+
+
+@pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="killer injection relies on fork inheriting the patched module",
+)
+class TestWorkerCrash:
+    """A dead pool worker must not hang, abort, or corrupt the batch."""
+
+    def _requests(self):
+        return [
+            RunRequest(
+                system="nameko",
+                scenario=default_scenario("float", day=30.0, seed=s),
+                seed=s,
+            )
+            for s in (1, _KILLER_SEED, 2)
+        ]
+
+    def test_dead_worker_batch_still_completes_bit_identically(self, monkeypatch):
+        requests = self._requests()
+        serial = run_many(requests, workers=1, cache=False)
+        monkeypatch.setattr(executor_module, "execute_request", _kill_worker_execute)
+        survived = run_many(requests, workers=2, cache=False)
+        assert len(survived) == len(serial)
+        for a, b in zip(serial, survived):
+            assert _hexes(a, "float") == _hexes(b, "float")
+
+    def test_reliably_crashing_request_surfaces_a_per_request_error(self, monkeypatch):
+        requests = self._requests()
+        monkeypatch.setattr(executor_module, "execute_request", _always_fail_execute)
+        with pytest.raises(RuntimeError, match="kept killing pool workers") as exc_info:
+            run_many(requests, workers=2, cache=False)
+        # the error names the offending request and chains its inline failure
+        assert f"seed {_KILLER_SEED}" in str(exc_info.value)
+        assert isinstance(exc_info.value.__cause__, RuntimeError)
 
 
 class TestResultPickle:

@@ -1,0 +1,76 @@
+"""Deadline-budget math: reservations, upstream costs, per-node targets."""
+
+import pytest
+
+from repro.graph import (
+    GraphEdge,
+    GraphNode,
+    GraphTopology,
+    chain_topology,
+    critical_path_cost,
+    downstream_reservation,
+    node_costs,
+    node_qos_targets,
+    upstream_cost,
+)
+from repro.graph.budget import QOS_FLOOR_FACTOR
+from repro.workloads import benchmark
+
+
+def test_chain_reservation_telescopes():
+    topo = chain_topology(3, "matmul", network_s=0.01)
+    costs = node_costs(topo)
+    exec_t = benchmark("matmul").exec_time
+    assert all(c == exec_t for c in costs.values())
+    res = downstream_reservation(topo, costs)
+    assert res["matmul_2"] == 0.0
+    assert res["matmul_1"] == pytest.approx(0.01 + exec_t)
+    assert res["matmul"] == pytest.approx(2 * (0.01 + exec_t))
+
+
+def test_upstream_cost_mirrors_reservation_on_a_chain():
+    topo = chain_topology(3, "matmul", network_s=0.01)
+    up = upstream_cost(topo)
+    res = downstream_reservation(topo)
+    assert up["matmul"] == 0.0
+    assert up["matmul_2"] == pytest.approx(res["matmul"])
+
+
+def test_critical_path_takes_the_slowest_branch():
+    # root fans out to a fast and a slow branch joining at the sink
+    nodes = (
+        GraphNode("r", "float"),
+        GraphNode("fast", "float"),
+        GraphNode("slow", "matmul"),
+        GraphNode("s", "float"),
+    )
+    edges = (
+        GraphEdge("r", "fast", 0.001),
+        GraphEdge("r", "slow", 0.001),
+        GraphEdge("fast", "s", 0.001),
+        GraphEdge("slow", "s", 0.001),
+    )
+    topo = GraphTopology(nodes=nodes, edges=edges)
+    costs = node_costs(topo)
+    expected = costs["r"] + 0.001 + costs["slow"] + 0.001 + costs["s"]
+    assert critical_path_cost(topo) == pytest.approx(expected)
+
+
+def test_qos_targets_share_the_budget_along_the_critical_path():
+    topo = chain_topology(4, "matmul", network_s=0.0)
+    exec_t = benchmark("matmul").exec_time
+    generous = node_qos_targets(topo, e2e_target=40 * exec_t)
+    # equal costs on a chain -> equal shares of T
+    assert all(t == pytest.approx(10 * exec_t) for t in generous.values())
+
+
+def test_qos_targets_clamp_to_the_floor_for_infeasible_budgets():
+    topo = chain_topology(4, "matmul")
+    exec_t = benchmark("matmul").exec_time
+    tight = node_qos_targets(topo, e2e_target=1e-3)
+    assert all(t == pytest.approx(QOS_FLOOR_FACTOR * exec_t) for t in tight.values())
+
+
+def test_qos_targets_reject_nonpositive_budget():
+    with pytest.raises(ValueError, match="e2e_target"):
+        node_qos_targets(chain_topology(2), 0.0)

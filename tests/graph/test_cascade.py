@@ -1,0 +1,115 @@
+"""Cascade-determinism gates: the graph family replays bit-for-bit.
+
+Three claims (DESIGN.md §13):
+
+* a chain with a mid-chain brownout — retries, give-ups, backpressure
+  sheds and all — is ``float.hex``-identical across runs;
+* worker count is invisible: ``run_many`` over graph requests merges in
+  submission order, so ``workers=2`` reproduces serial bit-for-bit;
+* a single-node DAG with deadline propagation off *is* the flat
+  scenario: same RNG stream names, same construction order, so the
+  latency stream is bit-identical to ``run_amoeba`` on the equivalent
+  flat scenario.
+"""
+
+import pytest
+
+from repro.experiments.dag import dag_scenario
+from repro.experiments.executor import RunRequest, run_many
+from repro.experiments.graphrun import run_graph
+from repro.experiments.runner import run_amoeba
+from repro.experiments.scenarios import Scenario, sized_reservoir
+from repro.graph import GraphScenario, chain_topology
+from repro.workloads import ConstantTrace, benchmark
+
+
+def _graph_hexes(result):
+    assert result.graph is not None
+    return [x.hex() for x in result.graph.latencies]
+
+
+def _node_hexes(result, name):
+    return [x.hex() for x in result.services[name].metrics.latencies.values()]
+
+
+class TestCascadeDeterminism:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_brownout_cascade_replays_hex_identically(self, seed):
+        scenario = dag_scenario(3, seed=seed, day=60.0)
+        a, b = run_graph(scenario), run_graph(scenario)
+        assert _graph_hexes(a) == _graph_hexes(b)
+        assert a.graph.retries == b.graph.retries
+        assert a.graph.backpressure_sheds == b.graph.backpressure_sheds
+        assert a.graph.failed_by_node == b.graph.failed_by_node
+        for node in a.services:
+            assert _node_hexes(a, node) == _node_hexes(b, node)
+
+    def test_worker_count_is_invisible_to_graph_batches(self):
+        requests = [
+            RunRequest(system="graph", scenario=dag_scenario(3, day=60.0)),
+            RunRequest(system="graph", scenario=dag_scenario(3, day=60.0, resilient=False)),
+        ]
+        serial = run_many(requests, workers=1, cache=False)
+        fanned = run_many(requests, workers=2, cache=False)
+        for a, b in zip(serial, fanned):
+            assert _graph_hexes(a) == _graph_hexes(b)
+            assert a.graph.retries == b.graph.retries
+
+    def test_cascade_machinery_actually_engages(self):
+        # the brownout must provoke retries, give-ups and backpressure —
+        # a cascade test against a quiet graph would prove nothing
+        result = run_graph(dag_scenario(4, day=60.0))
+        g = result.graph
+        assert g.retries["attempted"] > 0
+        assert g.retries["exhausted"] + g.retries["deadline_abandoned"] > 0
+        assert g.total_backpressure_sheds > 0
+        assert g.failed > 0 and g.completed > 0
+
+    def test_cascade_dies_at_its_origin_edge(self):
+        # a browned-out node sheds at its *ingress* edge; nothing past it
+        # ever sees the doomed request, so edges downstream of the
+        # brownout stay shed-free — the cascade dies where it starts
+        scenario = dag_scenario(4, day=60.0)
+        result = run_graph(scenario)
+        g = result.graph
+        mid = scenario.brownout.node
+        into_mid = sum(c for k, c in g.backpressure_sheds.items() if k.endswith(f"->{mid}"))
+        assert into_mid > 0
+        downstream = [k for k in g.backpressure_sheds if k.startswith(f"{mid}->")]
+        assert all(g.backpressure_sheds[k] == 0 for k in downstream)
+
+
+class TestSingleNodeFlatIdentity:
+    def test_single_node_dag_is_bit_identical_to_the_flat_scenario(self):
+        day, rate, limit = 120.0, 3.0, 8
+        trace = ConstantTrace(rate)
+        reservoir = sized_reservoir(trace, day)
+        graph = GraphScenario(
+            name="single-node-identity",
+            topology=chain_topology(1, "float"),
+            trace=trace,
+            e2e_target=benchmark("float").qos_target,
+            duration=day,
+            seed=5,
+            retry=None,
+            propagate_deadlines=False,
+            iaas_peak_rate=rate,
+            reservoir=reservoir,
+            limits=(limit,),
+        )
+        flat = Scenario(
+            foreground=benchmark("float"),
+            trace=trace,
+            limit=limit,
+            background=(),
+            duration=day,
+            seed=5,
+            iaas_peak_rate=rate,
+            reservoir=reservoir,
+        )
+        g = run_graph(graph)
+        a = run_amoeba(flat)
+        assert _node_hexes(g, "float") == _node_hexes(a, "float")
+        # the orchestrator's own accounting agrees with the service metrics
+        assert g.graph.completed == g.services["float"].metrics.completed
+        assert g.graph.failed == 0 and g.graph.total_backpressure_sheds == 0
