@@ -46,7 +46,16 @@
 #                 fraction under its bound while the naive unbounded
 #                 client measurably blows up, with both legs
 #                 float.hex-deterministic across worker counts.
-#  10. pytest   — the quick test tier (slow end-to-end benches excluded;
+#  10. spot     — spot-preemption gates (DESIGN.md §14): attaching spot
+#                 capacity with a zero-preemption FaultPlan must leave
+#                 the golden scenario float.hex-identical; and the
+#                 preemption-storm gate — at spot fraction 0.5 with a
+#                 guaranteed reclamation, the graceful drain protocol
+#                 must keep QoS violations (drops included) at or under
+#                 10% while the no-notice hard kill exceeds 25%, with
+#                 both legs float.hex-deterministic across worker
+#                 counts.
+#  11. pytest   — the quick test tier (slow end-to-end benches excluded;
 #                 run `pytest` with no -m filter for the full tier).
 #
 # Usage: scripts/check.sh
@@ -325,6 +334,76 @@ print(
     f"retries {budgeted.retries['attempted']} vs {naive.retries['attempted']} "
     f"({naive.retries['attempted'] / max(1, budgeted.retries['attempted']):.0f}x), "
     "both legs worker-count invariant"
+)
+EOF
+
+echo "== spot: zero-preemption identity + preemption-storm acceptance =="
+python - <<'EOF'
+from dataclasses import replace
+
+from repro.cluster import SpotSpec
+from repro.experiments.runner import run_amoeba
+from repro.experiments.scenarios import default_scenario
+from repro.experiments.spot import (
+    GRACEFUL_VIOLATION_BOUND,
+    HARDKILL_VIOLATION_FLOOR,
+    preemption_comparison,
+)
+from repro.faults import FaultPlan
+
+# -- gate 1: zero-preemption bit-identity — attaching spot capacity and
+#    the new fault fields at probability 0.0 must leave the golden
+#    scenario's latency stream float.hex-identical (no stray draws, no
+#    stray events that reorder the sim)
+sc = default_scenario("matmul", day=600.0, seed=0)
+plain = run_amoeba(sc)
+spotted = run_amoeba(replace(sc, spot=SpotSpec(fraction=0.5), faults=FaultPlan()))
+
+def hexes(result):
+    return [x.hex() for x in result.services["matmul"].metrics.latencies.values()]
+
+if spotted.faults is None or spotted.faults.total_injected != 0:
+    raise SystemExit("the zero plan injected faults")
+if hexes(spotted) != hexes(plain):
+    raise SystemExit("zero-preemption spot rental diverged from the plain scenario")
+print("zero-preemption spot rental is float.hex-identical to on-demand")
+
+# -- gate 2: preemption-storm acceptance at spot fraction 0.5 with a
+#    guaranteed reclamation and serverless pinned out of reach — the
+#    graceful drain keeps QoS violations bounded, the no-notice hard
+#    kill measurably does not, and both legs are deterministic across
+#    worker counts
+serial = preemption_comparison(seed=0, workers=1, cache=False)
+fanned = preemption_comparison(seed=0, workers=2, cache=False)
+for leg in ("graceful", "hardkill"):
+    a = serial[leg].services["matmul"].metrics
+    b = fanned[leg].services["matmul"].metrics
+    if [x.hex() for x in a.latencies.values()] != [x.hex() for x in b.latencies.values()]:
+        raise SystemExit(f"{leg} leg diverged between workers=1 and workers=2")
+    if a.preemptions != b.preemptions:
+        raise SystemExit(f"{leg} preemption accounting diverged across worker counts")
+graceful = serial["graceful"].services["matmul"].metrics
+hardkill = serial["hardkill"].services["matmul"].metrics
+if graceful.violation_fraction_with_failures > GRACEFUL_VIOLATION_BOUND:
+    raise SystemExit(
+        f"graceful drain violated QoS on "
+        f"{graceful.violation_fraction_with_failures:.1%} of queries "
+        f"(bound {GRACEFUL_VIOLATION_BOUND:.0%})"
+    )
+if hardkill.violation_fraction_with_failures <= HARDKILL_VIOLATION_FLOOR:
+    raise SystemExit(
+        f"hard kill only violated "
+        f"{hardkill.violation_fraction_with_failures:.1%} — the storm gate "
+        "is no longer discriminating"
+    )
+if graceful.preemptions["killed_inflight"] != 0:
+    raise SystemExit("graceful drain killed in-flight queries")
+print(
+    f"preemption-storm gate: graceful viol "
+    f"{graceful.violation_fraction_with_failures:.1%} <= "
+    f"{GRACEFUL_VIOLATION_BOUND:.0%}, hardkill "
+    f"{hardkill.violation_fraction_with_failures:.1%} > "
+    f"{HARDKILL_VIOLATION_FLOOR:.0%}, both legs worker-count invariant"
 )
 EOF
 

@@ -208,9 +208,13 @@ _DEPTH_GUARD_RE = re.compile(r"(?i)^\w*(depth|level|hop|attempt|retr|tries|budge
 
 #: names that look like a fault-injection probability/rate (SIM009);
 #: matched against module-level constant bindings only — FaultPlan
-#: *fields* (class scope) are the sanctioned home for these numbers
+#: *fields* (class scope) are the sanctioned home for these numbers.
+#: Preemption and flash-crowd knobs are included: a spot reclamation
+#: rate or spike probability hard-coded next to the control flow it
+#: gates is exactly as unsweepable as a crash rate
 _FAULT_PROB_NAME_RE = re.compile(
-    r"(?i)^\w*(fault|fail(ure)?|crash|outage|drop|loss)\w*_(prob(ability)?|rate|p)$"
+    r"(?i)^\w*(fault|fail(ure)?|crash|outage|drop|loss"
+    r"|preempt(ion)?|reclaim|spike|surge|crowd)\w*_(prob(ability)?|rate|p)$"
 )
 
 

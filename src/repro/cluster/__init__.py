@@ -15,7 +15,7 @@ from repro.cluster.resource_model import (
     MachineModel,
     SensitivityVector,
 )
-from repro.cluster.spec import CLUSTER_TABLE_II, NodeSpec
+from repro.cluster.spec import CLUSTER_TABLE_II, NodeSpec, SpotSpec
 
 __all__ = [
     "CLUSTER_TABLE_II",
@@ -24,6 +24,7 @@ __all__ = [
     "MachineModel",
     "NodeSpec",
     "SensitivityVector",
+    "SpotSpec",
     "UsageLedger",
     "UsageSample",
 ]

@@ -37,6 +37,10 @@ class PricingModel:
     serverless_gb_second: float = 1.6667e-5
     #: serverless: per million invocations
     serverless_per_million: float = 0.20
+    #: spot (preemptible) IaaS price as a fraction of on-demand — the
+    #: discount that motivates renting revocable capacity at all
+    #: (public-cloud spot markets hover around 60-70 % off)
+    spot_price_factor: float = 0.35
 
     def __post_init__(self) -> None:
         for attr in (
@@ -47,6 +51,10 @@ class PricingModel:
         ):
             if getattr(self, attr) < 0:
                 raise ValueError(f"{attr} must be >= 0")
+        if not 0.0 <= self.spot_price_factor <= 1.0:
+            raise ValueError(
+                f"spot_price_factor must be in [0, 1], got {self.spot_price_factor}"
+            )
 
     # -- per-side costs ----------------------------------------------------
     def iaas_cost(self, usage: UsageSample) -> float:
@@ -54,6 +62,10 @@ class PricingModel:
         core_hours = usage.cpu_core_seconds / 3600.0
         gb_hours = usage.memory_mb_seconds / 1024.0 / 3600.0
         return core_hours * self.iaas_core_hour + gb_hours * self.iaas_gb_hour
+
+    def iaas_spot_cost(self, usage: UsageSample) -> float:
+        """Bill for a *spot* rental share: on-demand rate times the discount."""
+        return self.iaas_cost(usage) * self.spot_price_factor
 
     def serverless_cost(
         self, invocations: int, mean_duration_s: float, container_memory_mb: float
@@ -75,11 +87,13 @@ class CostBreakdown:
     system: str
     iaas_dollars: float
     serverless_dollars: float
+    #: discounted bill for the spot share of the rental (0 when no spot)
+    iaas_spot_dollars: float = 0.0
 
     @property
     def total(self) -> float:
         """The full bill."""
-        return self.iaas_dollars + self.serverless_dollars
+        return self.iaas_dollars + self.serverless_dollars + self.iaas_spot_dollars
 
     def normalized_to(self, baseline: "CostBreakdown") -> float:
         """This bill as a fraction of ``baseline``'s."""

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["CLUSTER_TABLE_II", "ClusterSpec", "NodeSpec"]
+__all__ = ["CLUSTER_TABLE_II", "ClusterSpec", "NodeSpec", "SpotSpec"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +61,36 @@ class ClusterSpec:
     def max_containers_by_memory(self) -> int:
         """Upper bound on concurrent containers from node memory alone."""
         return int(self.serverless_node.memory_mb // self.container_memory_mb)
+
+
+@dataclass(frozen=True)
+class SpotSpec:
+    """Spot (preemptible) VM class: reclamation-notice semantics.
+
+    A service rents ``fraction`` of its just-enough IaaS footprint on
+    discounted spot capacity (discount lives in
+    :class:`~repro.cluster.pricing.PricingModel`).  When the cloud
+    reclaims the share (arrival law:
+    :class:`~repro.faults.FaultPlan.vm_preemption_prob`), a *graceful*
+    reclamation delivers ``notice_s`` of warning — the platform stops
+    dispatching onto the doomed VMs late enough to drain them and boots
+    an on-demand replacement inside the window.  ``graceful=False`` is
+    the degraded hard-kill path: zero notice, in-flight queries on the
+    reclaimed share die.
+    """
+
+    #: share of the rented footprint (cores/memory/worker slots) on spot
+    fraction: float = 0.5
+    #: reclamation warning, seconds (e.g. the classic 120 s spot notice)
+    notice_s: float = 120.0
+    #: True = notice honoured (drain + replace); False = hard kill
+    graceful: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {self.fraction}")
+        if self.notice_s < 0:
+            raise ValueError(f"notice_s must be >= 0, got {self.notice_s}")
 
 
 #: the paper's Table II configuration

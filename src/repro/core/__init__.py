@@ -23,6 +23,8 @@
   controller (§IV) with the co-tenant QoS guard (§III).
 * :mod:`repro.core.runtime` — the Amoeba facade and its ablation
   variants (NoM, NoP) plus pure-IaaS / pure-serverless baselines.
+* :mod:`repro.core.invariants` — the always-on kernel invariant monitor
+  (conservation, clock monotonicity, no-wedge liveness).
 """
 
 from typing import Any
@@ -51,12 +53,18 @@ def __getattr__(name: str) -> Any:
         from repro.core.runtime import AmoebaRuntime
 
         return AmoebaRuntime
+    if name in ("InvariantMonitor", "InvariantViolation"):
+        from repro.core import invariants
+
+        return getattr(invariants, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
     "AmoebaConfig",
     "AmoebaRuntime",
+    "InvariantMonitor",
+    "InvariantViolation",
     "discriminant_lambda",
     "erlang_c",
     "erlang_pi0",

@@ -72,6 +72,17 @@ class AmoebaConfig:
     #: meters silent for more than this many decision periods → the
     #: controller enters stale-telemetry safe mode (pins IaaS)
     telemetry_stale_periods: float = 3.0
+    # -- flash-crowd surge mode -------------------------------------------
+    #: a load sample this many times the smoothed load trips surge mode
+    #: (diurnal drift moves the EWMA along with it and never trips)
+    surge_factor: float = 1.8
+    #: smoothing constant of the controller's load EWMA, in (0, 1]
+    surge_ewma_alpha: float = 0.3
+    #: decision periods a detected surge stays armed without retrigger
+    surge_hold_periods: int = 2
+    #: extra containers added to the Eq. 7 prewarm count while surging
+    #: (a spike-widened margin so a flash crowd lands on warm capacity)
+    surge_headroom: int = 4
 
     def __post_init__(self) -> None:
         if not 0.0 < self.r_ile < 1.0:
@@ -104,6 +115,12 @@ class AmoebaConfig:
             raise ValueError("switch deadlines must be positive")
         if self.drain_timeout <= 0 or self.telemetry_stale_periods <= 0:
             raise ValueError("drain_timeout and telemetry_stale_periods must be positive")
+        if self.surge_factor <= 1.0:
+            raise ValueError(f"surge_factor must exceed 1, got {self.surge_factor}")
+        if not 0.0 < self.surge_ewma_alpha <= 1.0:
+            raise ValueError(f"surge_ewma_alpha must be in (0, 1], got {self.surge_ewma_alpha}")
+        if self.surge_hold_periods < 1 or self.surge_headroom < 0:
+            raise ValueError("surge_hold_periods must be >= 1 and surge_headroom >= 0")
 
     def variant_nom(self) -> "AmoebaConfig":
         """Amoeba-NoM: PCA correction disabled (§VII-C)."""

@@ -61,6 +61,10 @@ class ControllerDecision:
     #: decision time — switch requests are suppressed by the engine until
     #: the breaker half-opens
     brownout: bool = False
+    #: True when the flash-crowd detector saw this load sample jump past
+    #: ``surge_factor`` times the smoothed load — surge mode widens the
+    #: Eq. 7 prewarm margin while it holds
+    surge: bool = False
 
 
 class DeploymentController:
@@ -90,6 +94,11 @@ class DeploymentController:
         self.safe_mode_periods = 0
         #: decision periods spent under a breaker-forced brownout
         self.brownout_periods = 0
+        #: decision periods on which the flash-crowd detector tripped
+        self.surge_periods = 0
+        # smoothed load for the flash-crowd detector (None until the
+        # first sample — the detector never trips on its own baseline)
+        self._load_ewma: Optional[float] = None
         # Eq. 8: the sample period must absorb one accidental cold start
         platform_cfg = engine.serverless.config
         t_min = sample_period(
@@ -113,6 +122,7 @@ class DeploymentController:
             now = self.env.now
             metrics = self.engine.metrics
             load = metrics.load.rate(now)
+            surge = self._detect_surge(load, now)
             # an OPEN breaker pins the current mode (engine.can_switch);
             # log it so brownout windows are visible in the decision trace
             brownout = self.engine.in_brownout()
@@ -143,6 +153,7 @@ class DeploymentController:
                         pressures=(float("nan"), float("nan"), float("nan")),
                         safe_mode=True,
                         brownout=brownout,
+                        surge=surge,
                     )
                 )
                 continue
@@ -202,8 +213,31 @@ class DeploymentController:
                     weights=est.weights,
                     pressures=self.monitor.pressure(),
                     brownout=brownout,
+                    surge=surge,
                 )
             )
+
+    def _detect_surge(self, load: float, now: float) -> bool:
+        """Flash-crowd detection: a load jump past ``surge_factor``× the EWMA.
+
+        Draw-free arithmetic on the load signal the controller already
+        reads.  The first sample seeds the baseline without tripping; a
+        tripped sample is *not* folded into the EWMA, so a multi-period
+        crowd stays visible against the pre-spike baseline instead of
+        normalising itself away.  Each trip (re)arms the engine's surge
+        window for ``surge_hold_periods`` decision periods.
+        """
+        cfg = self.config
+        ewma = self._load_ewma
+        surge = ewma is not None and ewma > 1e-9 and load > cfg.surge_factor * ewma
+        if surge:
+            self.surge_periods += 1
+            self.engine.note_surge(now + cfg.surge_hold_periods * self.period)
+        else:
+            self._load_ewma = (
+                load if ewma is None else ewma + cfg.surge_ewma_alpha * (load - ewma)
+            )
+        return surge
 
     def _serverless_observation(self) -> Optional[float]:
         """Most recent serverless-path latency sample for feedback."""

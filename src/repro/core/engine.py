@@ -89,6 +89,13 @@ class HybridExecutionEngine:
         self._canary_stream = rng.stream(f"canary/{spec.name}")
         self._canary_ids = 0
         self._drain_event: Optional[Event] = None
+        #: sim time until which flash-crowd surge mode stays armed
+        self._surge_until = -float("inf")
+        #: emergency switch-ins taken in reaction to a preemption notice
+        self.preemption_switches = 0
+        # the IaaS platform tells the engine about spot reclamations so
+        # it can pin serverless before the capacity actually drops
+        iaas_service.on_preemption = self.handle_preemption
 
     # -- routing ----------------------------------------------------------------
     def route(self, query: Query) -> None:
@@ -129,13 +136,50 @@ class HybridExecutionEngine:
         """True while the overload breaker holds this service browned out."""
         return self.overload is not None and self.overload.brownout(self.env.now)
 
-    def request_switch(self, target: DeployMode, load: float) -> bool:
+    def note_surge(self, until: float) -> None:
+        """(Re)arm flash-crowd surge mode until sim time ``until``."""
+        self._surge_until = max(self._surge_until, until)
+
+    @property
+    def in_surge(self) -> bool:
+        """True while the controller's flash-crowd window is armed."""
+        return self.env.now < self._surge_until
+
+    def handle_preemption(self, notice_s: float) -> None:
+        """React to a spot reclamation notice from the IaaS platform.
+
+        If the service is routed to IaaS and the current load fits the
+        serverless container budget, take an *emergency* switch-in (dwell
+        does not apply — the capacity is about to drop regardless of how
+        recently we switched).  Otherwise stay put: the surviving workers
+        plus the booting on-demand replacement are the better option for
+        a load the container budget cannot hold.
+        """
+        if self.mode is not DeployMode.IAAS or self.switching or self.in_brownout():
+            return
+        load = self.metrics.load.rate(self.env.now)
+        needed = prewarm_count(
+            load, self.spec.qos_target, headroom=self.config.prewarm_headroom
+        )
+        if needed > self.serverless.n_max(self.spec.name):
+            return
+        if self.request_switch(DeployMode.SERVERLESS, load, emergency=True):
+            self.preemption_switches += 1
+
+    def request_switch(self, target: DeployMode, load: float, emergency: bool = False) -> bool:
         """Ask for a deploy-mode switch; returns False if refused.
 
         Refusals: already in ``target``, a switch is in flight, or the
         minimum dwell since the last switch has not elapsed.
+        ``emergency=True`` (preemption reaction) waives only the dwell —
+        an in-flight switch or a brownout still refuses.
         """
-        if target is self.mode or not self.can_switch():
+        if target is self.mode:
+            return False
+        if emergency:
+            if self.switching or self.in_brownout():
+                return False
+        elif not self.can_switch():
             return False
         self.switching = True
         self.switch_events.append((self.env.now, target, load))
@@ -188,10 +232,15 @@ class HybridExecutionEngine:
                 # traffic being dropped too, or the switch-in inherits
                 # the same overload that caused the shedding
                 demand += self.overload.shed_rate(self.env.now)
+            headroom = self.config.prewarm_headroom
+            if self.in_surge:
+                # flash crowd in progress: widen the Eq. 7 margin so the
+                # spike lands on warm containers instead of cold starts
+                headroom += self.config.surge_headroom
             n = prewarm_count(
                 demand,
                 self.spec.qos_target,
-                headroom=self.config.prewarm_headroom,
+                headroom=headroom,
                 n_cap=self.serverless.n_max(self.spec.name),
             )
             ack = self.serverless.prewarm(self.spec.name, n)

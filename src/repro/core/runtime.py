@@ -24,11 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
-from repro.cluster import CLUSTER_TABLE_II, ContentionConfig, UsageSample
+from repro.cluster import CLUSTER_TABLE_II, ContentionConfig, SpotSpec, UsageSample
 from repro.cluster.spec import ClusterSpec
 from repro.core.config import AmoebaConfig
 from repro.core.controller import DeploymentController
 from repro.core.engine import DeployMode, HybridExecutionEngine
+from repro.core.invariants import InvariantMonitor
 from repro.core.meters import expected_platform_overhead
 from repro.core.monitor import ContentionMonitor
 from repro.core.mu_model import predicted_latency
@@ -89,6 +90,7 @@ class AmoebaRuntime:
         env: Optional[Environment] = None,
         faults: Optional[FaultPlan] = None,
         overload: Optional[OverloadPolicy] = None,
+        spot: Optional[SpotSpec] = None,
     ) -> None:
         self.env = env if env is not None else Environment()
         self.rng = RngRegistry(seed=seed)
@@ -116,6 +118,12 @@ class AmoebaRuntime:
             self.env, self.serverless, self.config, self.rng, faults=self.faults
         )
         self.monitor.start()
+        #: back every managed rental with this spot share (None = all
+        #: on-demand, the pre-spot behaviour)
+        self.spot = spot
+        #: always-on kernel invariant monitor (RNG-free, so its periodic
+        #: checks leave every latency ledger bit-identical)
+        self.invariants = InvariantMonitor(self.env)
         self.services: Dict[str, ManagedService] = {}
         self.background: Dict[str, BackgroundService] = {}
 
@@ -207,6 +215,7 @@ class AmoebaRuntime:
             contention=self.contention,
             faults=self.faults,
             overload=governor,
+            spot=self.spot,
         )
         if initial_mode is DeployMode.IAAS:
             iaas.deploy(instant=True)
@@ -252,6 +261,12 @@ class AmoebaRuntime:
             overload=governor,
         )
         self.services[spec.name] = managed
+        # conservation census: a managed query is in flight on exactly one
+        # of the two platforms until it reaches a terminal state
+        fs = self.serverless.pool.state(spec.name)
+        self.invariants.register(
+            spec.name, metrics, lambda: iaas.in_flight + fs.user_in_flight
+        )
         return managed
 
     def add_background(
@@ -266,6 +281,8 @@ class AmoebaRuntime:
         surfaces = self._build_surfaces(spec, load_max=2.0 * trace.peak_rate)
         self.monitor.register_service(spec.name, surfaces)
         loadgen = LoadGenerator(self.env, spec.name, trace, self.serverless.invoke, self.rng)
+        fs = self.serverless.pool.state(spec.name)
+        self.invariants.register(spec.name, metrics, lambda: fs.user_in_flight)
         bg = BackgroundService(
             spec=spec,
             trace=trace,
@@ -335,15 +352,24 @@ class AmoebaRuntime:
 
     # -- execution / results --------------------------------------------------------
     def run(self, until: float) -> None:
-        """Advance the simulation to time ``until``."""
+        """Advance the simulation to time ``until``.
+
+        The invariant monitor's exact-conservation horizon check runs at
+        the stop boundary: every arrival must be terminal or still in
+        flight, nothing lost, nothing double-counted.
+        """
         self.env.run(until=until)
+        self.invariants.check_horizon()
 
     def service_usage(self, name: str) -> UsageSample:
         """Combined vendor-side usage of one managed service (IaaS + serverless)."""
         svc = self.services[name]
         iaas_usage = svc.iaas.ledger.snapshot()
         sls_usage = self.serverless.function_ledger(name).snapshot()
-        return iaas_usage + sls_usage
+        total = iaas_usage + sls_usage
+        if svc.iaas.spot_ledger is not None:
+            total = total + svc.iaas.spot_ledger.snapshot()
+        return total
 
     def meter_overhead(self) -> float:
         """Mean fraction of the serverless node the meters consume (§VII-E)."""

@@ -61,6 +61,12 @@ def _dag(**kw):
 
     return dag_sweep(**kw)
 
+
+def _spot(**kw):
+    from repro.experiments.spot import spot_sweep
+
+    return spot_sweep(**kw)
+
 #: target name -> (callable, accepts day/seed kwargs)
 TARGETS = {
     "table2": (lambda **kw: F.table2_setup(), False),
@@ -88,6 +94,7 @@ TARGETS = {
     "overload": (_overload, True),
     "fleet": (_fleet, True),
     "dag": (_dag, True),
+    "spot": (_spot, True),
 }
 
 
@@ -149,9 +156,9 @@ def main(argv=None) -> int:
         if takes_day:
             if args.day is not None:
                 kwargs["day"] = args.day
-            elif name not in ("fleet", "dag"):
+            elif name not in ("fleet", "dag", "spot"):
                 kwargs["day"] = F.FIG_DAY
-            # fleet/dag without --day use their own shorter defaults
+            # fleet/dag/spot without --day use their own shorter defaults
         if name == "fleet":
             kwargs["services"] = args.services
             kwargs["daily_queries"] = args.daily_queries

@@ -45,7 +45,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.core import AmoebaConfig
+from repro.core import AmoebaConfig, InvariantViolation
 from repro.experiments.cache import RunCache, fingerprint
 from repro.experiments.graphrun import run_graph
 from repro.experiments.runner import (
@@ -217,7 +217,10 @@ def run_many(
     misses = [(key, request) for key, request in unique.items() if key not in results]
     if workers <= 1 or len(misses) <= 1:
         for key, request in misses:
-            results[key] = execute_request(request)
+            try:
+                results[key] = execute_request(request)
+            except InvariantViolation as exc:
+                raise _attributed(exc, key, request) from exc
             if live_cache is not None:
                 live_cache.put(request, results[key], key=key)
     else:
@@ -231,6 +234,23 @@ def _scenario_label(request: RunRequest) -> str:
     if label is None:
         label = getattr(getattr(request.scenario, "foreground", None), "name", "?")
     return str(label)
+
+
+def _attributed(exc: InvariantViolation, key: str, request: RunRequest) -> InvariantViolation:
+    """Rebuild a violation with the failing run's identity attached.
+
+    A bare worker traceback says which invariant broke but not *which
+    run of the sweep* broke it; prefixing the system/scenario/seed and
+    the content fingerprint pins the exact request, so
+    ``execute_request`` on the same request replays the failure
+    bit-for-bit outside the pool.
+    """
+    note = (
+        f"invariant {exc.invariant or '?'} failed in run "
+        f"{request.system}/{_scenario_label(request)} "
+        f"(seed {request.seed}, fingerprint {key[:12]}): {exc.args[0]}"
+    )
+    return InvariantViolation(note, invariant=exc.invariant, service=exc.service)
 
 
 #: pool rebuilds tolerated before the remaining misses run inline — a
@@ -273,6 +293,8 @@ def _run_parallel(
             for key, request, future in futures:
                 try:
                     results[key] = future.result()
+                except InvariantViolation as exc:
+                    raise _attributed(exc, key, request) from exc
                 except BrokenProcessPool:
                     uncollected.append((key, request))
                     continue
@@ -289,6 +311,8 @@ def _run_parallel(
     for key, request in uncollected:
         try:
             results[key] = execute_request(request)
+        except InvariantViolation as exc:
+            raise _attributed(exc, key, request) from exc
         except Exception as exc:  # noqa: BLE001 - re-raised below with context
             errors.append((request, exc))
             continue

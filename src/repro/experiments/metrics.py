@@ -81,6 +81,11 @@ class FaultSummary:
     drain_force_releases: int = 0
     #: controller periods spent in stale-telemetry safe mode
     safe_mode_periods: int = 0
+    #: foreground ``preemptions{kind}`` family (noticed / drained /
+    #: killed_inflight / replaced) — spot reclamation outcomes
+    preemptions: Dict[str, int] = field(default_factory=dict)
+    #: emergency switch-ins taken in reaction to a preemption notice
+    preemption_switches: int = 0
 
 
 @dataclass(frozen=True)
@@ -120,6 +125,11 @@ class OverloadSummary:
     peak_queue_depth_iaas: int = 0
     #: controller periods spent under brownout (foreground)
     brownout_periods: int = 0
+    #: foreground ``preemptions{kind}`` family (spot reclamation events
+    #: seen while the overload layer was attached)
+    preemptions: Dict[str, int] = field(default_factory=dict)
+    #: controller periods on which the flash-crowd detector tripped
+    surge_periods: int = 0
 
 
 def latency_cdf(

@@ -56,6 +56,9 @@ class ServiceResult:
     #: was never used by this system)
     usage_iaas: Optional[UsageSample] = None
     usage_serverless: Optional[UsageSample] = None
+    #: spot-share rental usage, billed at the discounted spot rate (None
+    #: when the scenario rented no spot capacity)
+    usage_iaas_spot: Optional[UsageSample] = None
     serverless_invocations: int = 0
     serverless_busy_seconds: float = 0.0
     container_memory_mb: float = 256.0
@@ -69,6 +72,11 @@ class ServiceResult:
 
         pricing = pricing if pricing is not None else PricingModel()
         iaas = pricing.iaas_cost(self.usage_iaas) if self.usage_iaas is not None else 0.0
+        spot = (
+            pricing.iaas_spot_cost(self.usage_iaas_spot)
+            if self.usage_iaas_spot is not None
+            else 0.0
+        )
         if self.serverless_invocations > 0:
             mean_duration = self.serverless_busy_seconds / self.serverless_invocations
             sls = pricing.serverless_cost(
@@ -76,7 +84,9 @@ class ServiceResult:
             )
         else:
             sls = 0.0
-        return CostBreakdown(system="", iaas_dollars=iaas, serverless_dollars=sls)
+        return CostBreakdown(
+            system="", iaas_dollars=iaas, serverless_dollars=sls, iaas_spot_dollars=spot
+        )
 
     def cpu_usage_on_grid(self, grid: np.ndarray) -> np.ndarray:
         """Total cores occupied, resampled (zero-order hold) onto ``grid``."""
@@ -148,6 +158,7 @@ def run_amoeba(
         config=config,
         faults=scenario.faults,
         overload=scenario.overload,
+        spot=scenario.spot,
     )
     if scenario.ambient:
         AmbientTenants(rt.env, rt.serverless.machine, dict(scenario.ambient), rt.rng)
@@ -169,17 +180,25 @@ def run_amoeba(
     sls_ledger = rt.serverless.function_ledger(name)
     sls_cpu, sls_mem = _ledger_timeline(sls_ledger)
     fg_state = rt.serverless.pool.state(name)
+    cpu_timelines = [iaas_cpu, sls_cpu]
+    mem_timelines = [iaas_mem, sls_mem]
+    spot_ledger = fg.iaas.spot_ledger
+    if spot_ledger is not None:
+        spot_cpu, spot_mem = _ledger_timeline(spot_ledger)
+        cpu_timelines.append(spot_cpu)
+        mem_timelines.append(spot_mem)
     services[name] = ServiceResult(
         spec=scenario.foreground,
         metrics=fg.metrics,
         usage=rt.service_usage(name),
-        cpu_timelines=[iaas_cpu, sls_cpu],
-        mem_timelines=[iaas_mem, sls_mem],
+        cpu_timelines=cpu_timelines,
+        mem_timelines=mem_timelines,
         mode_timeline=[(t, m.value) for t, m in fg.engine.mode_timeline],
         switch_events=[(t, m.value, load) for t, m, load in fg.engine.switch_events],
         decisions=list(fg.controller.decisions),
         usage_iaas=fg.iaas.ledger.snapshot(),
         usage_serverless=sls_ledger.snapshot(),
+        usage_iaas_spot=spot_ledger.snapshot() if spot_ledger is not None else None,
         serverless_invocations=fg_state.completions,
         serverless_busy_seconds=fg_state.busy_seconds,
         container_memory_mb=rt.serverless.config.container_memory_mb,
@@ -216,6 +235,8 @@ def run_amoeba(
             switches_completed=len(fg.engine.mode_timeline) - 1,
             drain_force_releases=fg.engine.drain_force_releases,
             safe_mode_periods=fg.controller.safe_mode_periods,
+            preemptions=dict(fg.metrics.preemptions),
+            preemption_switches=fg.engine.preemption_switches,
         )
     overload_summary: Optional[OverloadSummary] = None
     if fg.overload is not None:
@@ -236,6 +257,8 @@ def run_amoeba(
             peak_queue_depth_serverless=fg_state.peak_queue_depth,
             peak_queue_depth_iaas=fg.iaas.peak_queue_depth,
             brownout_periods=fg.controller.brownout_periods,
+            preemptions=dict(fg.metrics.preemptions),
+            surge_periods=fg.controller.surge_periods,
         )
     return RunResult(
         system=f"amoeba-{variant}" if variant != "full" else "amoeba",

@@ -27,12 +27,20 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
+from repro.cluster import SpotSpec
 from repro.core.meters import expected_platform_overhead
 from repro.sim.queueing import max_arrival_rate
 from repro.faults import FaultPlan
 from repro.overload import OverloadPolicy
 from repro.serverless import ServerlessConfig
-from repro.workloads import DiurnalTrace, MicroserviceSpec, Trace, benchmark, benchmark_names
+from repro.workloads import (
+    DiurnalTrace,
+    FlashCrowdTrace,
+    MicroserviceSpec,
+    Trace,
+    benchmark,
+    benchmark_names,
+)
 
 __all__ = [
     "AMBIENT_PEAKS",
@@ -49,6 +57,7 @@ __all__ = [
     "default_scenario",
     "overload_scenario",
     "sized_reservoir",
+    "spot_scenario",
 ]
 
 #: foreground peak rates (queries/s) per benchmark — "high enough to
@@ -211,6 +220,10 @@ class Scenario:
     #: more completions — the fleet family sizes this from the trace's
     #: expected query count — must say so here.
     reservoir: Optional[int] = None
+    #: spot share of every managed IaaS rental; None keeps the rental
+    #: all on-demand (and, with a zero ``vm_preemption_prob``, the run
+    #: bit-identical to the pre-spot behaviour)
+    spot: Optional[SpotSpec] = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -334,4 +347,57 @@ def overload_scenario(
         # deep-overload traces offer well past the 20k default; keep the
         # sweep's reported p95 an exact order statistic
         reservoir=sized_reservoir(trace, duration if duration is not None else day),
+    )
+
+
+def spot_scenario(
+    name: str = "matmul",
+    spot_fraction: float = 0.5,
+    preemption_prob: float = 0.5,
+    graceful: bool = True,
+    notice_s: float = 120.0,
+    spike_magnitude: float = 0.0,
+    spike_gap_s: float = 900.0,
+    policy: Optional[OverloadPolicy] = None,
+    day: float = DEFAULT_DAY,
+    duration: Optional[float] = None,
+    seed: int = 0,
+    cfg: Optional[ServerlessConfig] = None,
+) -> Scenario:
+    """The standard scenario on a spot-backed rental, optionally spiked.
+
+    ``spot_fraction`` of every managed rental is reclaimable;
+    ``preemption_prob`` is the per-check-interval reclamation probability
+    (0 is the provably-inert zero plan).  ``graceful=False`` models a
+    cloud that reclaims with no notice — the degraded path the drain
+    protocol exists to avoid.  ``spike_magnitude`` > 0 layers a seeded
+    flash-crowd spike train on the diurnal trace (median extra rate =
+    ``spike_magnitude`` × the nominal peak), the stress the controller's
+    surge mode absorbs.
+    """
+    if not 0.0 <= preemption_prob <= 1.0:
+        raise ValueError(f"preemption_prob must be in [0, 1], got {preemption_prob}")
+    if spike_magnitude < 0:
+        raise ValueError(f"spike_magnitude must be >= 0, got {spike_magnitude}")
+    base = default_scenario(name, day=day, duration=duration, seed=seed, cfg=cfg)
+    span = duration if duration is not None else day
+    trace: Trace = base.trace
+    if spike_magnitude > 0:
+        trace = FlashCrowdTrace(
+            base.trace,
+            horizon=span,
+            mean_gap_s=spike_gap_s,
+            magnitude=spike_magnitude * PEAK_RATES[name],
+            seed=seed + 900,
+        )
+    plan = FaultPlan(
+        vm_preemption_prob=preemption_prob, preemption_check_interval_s=30.0
+    )
+    return replace(
+        base,
+        trace=trace,
+        spot=SpotSpec(fraction=spot_fraction, notice_s=notice_s, graceful=graceful),
+        faults=plan,
+        overload=policy,
+        reservoir=sized_reservoir(trace, span),
     )

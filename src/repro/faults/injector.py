@@ -49,6 +49,7 @@ class FaultStats:
     prewarm_acks_delayed: int = 0
     meter_samples_dropped: int = 0
     meter_outages: int = 0
+    vm_preemptions: int = 0
 
     @property
     def total_injected(self) -> int:
@@ -62,6 +63,7 @@ class FaultStats:
             + self.prewarm_acks_delayed
             + self.meter_samples_dropped
             + self.meter_outages
+            + self.vm_preemptions
         )
 
     def as_dict(self) -> Dict[str, int]:
@@ -111,6 +113,20 @@ class FaultInjector:
         hit = self._hit(self.plan.vm_boot_failure_prob, f"faults/vmboot/{service}")
         if hit:
             self.stats.vm_boot_failures += 1
+        return hit
+
+    def vm_preempted(self, service: str) -> bool:
+        """Does the cloud reclaim this service's spot share right now?
+
+        One Bernoulli per watcher interval while the spot rental runs
+        (:meth:`repro.iaas.service.IaaSService`).  The stream is only
+        touched when ``vm_preemption_prob > 0``, so a zero-preemption
+        plan makes zero draws — the bit-identity contract every other
+        fault class honours.
+        """
+        hit = self._hit(self.plan.vm_preemption_prob, f"faults/preemption/{service}")
+        if hit:
+            self.stats.vm_preemptions += 1
         return hit
 
     # -- contention meters -------------------------------------------------

@@ -30,6 +30,7 @@ _PROB_FIELDS = (
     "meter_outage_prob",
     "prewarm_ack_loss_prob",
     "prewarm_ack_delay_prob",
+    "vm_preemption_prob",
 )
 
 #: plan fields that are non-negative durations, seconds
@@ -41,6 +42,7 @@ _DURATION_FIELDS = (
     "retry_backoff_s",
     "cold_start_retry_backoff_s",
     "boot_retry_backoff_s",
+    "preemption_check_interval_s",
 )
 
 #: plan fields that are non-negative retry counts
@@ -75,6 +77,12 @@ class FaultPlan:
     prewarm_ack_delay_s: float = 10.0
     #: time to detect a crashed container before the query is retried
     crash_detect_s: float = 1.0
+    #: the cloud reclaims a service's spot VM share (per check interval,
+    #: only meaningful when the scenario rents spot capacity —
+    #: :class:`repro.cluster.SpotSpec`); drawn from ``faults/preemption/<svc>``
+    vm_preemption_prob: float = 0.0
+    #: how often the preemption watcher re-draws while the rental runs
+    preemption_check_interval_s: float = 30.0
 
     # -- degradation policy (how the runtime answers the faults) ----------
     #: resubmissions granted to a crashed query before it is dropped

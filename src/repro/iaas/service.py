@@ -16,9 +16,10 @@ all its allocated queries completed").
 from __future__ import annotations
 
 import enum
-from typing import Optional
+import itertools
+from typing import Callable, Dict, Optional
 
-from repro.cluster import ContentionConfig, MachineModel, UsageLedger
+from repro.cluster import ContentionConfig, DemandVector, MachineModel, SpotSpec, UsageLedger
 from repro.faults import FaultInjector, VMBootFailed
 from repro.iaas.sizing import RPC_OVERHEAD, SizingResult
 from repro.overload import OverloadGovernor
@@ -52,6 +53,7 @@ class IaaSService:
         contention: Optional[ContentionConfig] = None,
         faults: Optional[FaultInjector] = None,
         overload: Optional[OverloadGovernor] = None,
+        spot: Optional[SpotSpec] = None,
     ):
         self.env = env
         self.spec = spec
@@ -61,6 +63,7 @@ class IaaSService:
         self.faults = faults
         self.overload = overload
         self.ledger = ledger if ledger is not None else UsageLedger(env, f"iaas/{spec.name}")
+        self.spot = spot if spot is not None and spot.fraction > 0.0 else None
         flavor = sizing.flavor
         k = sizing.vm_count
         self.machine = MachineModel(
@@ -86,6 +89,36 @@ class IaaSService:
         #: that aborted its own wait re-join an in-progress boot instead
         #: of raising on a second deploy()
         self.boot_ready: Optional[Event] = None
+        # -- spot rental state (inert when self.spot is None) ----------------
+        frac = self.spot.fraction if self.spot is not None else 0.0
+        #: the reclaimable share of the rental, billed at the spot rate
+        self.spot_cores = sizing.rented_cores * frac
+        self.spot_memory_mb = sizing.rented_memory_mb * frac
+        self._spot_workers = round(sizing.workers * frac)
+        #: worker slots left after the cloud takes the spot share back
+        self._surviving_workers = max(1, sizing.workers - self._spot_workers)
+        self.spot_ledger: Optional[UsageLedger] = (
+            UsageLedger(env, f"iaas-spot/{spec.name}") if self.spot is not None else None
+        )
+        #: one reclamation episode per run: True from the notice onward
+        self.preempted = False
+        #: True once the on-demand replacement restored full capacity
+        self.replaced = False
+        self._spot_held = False
+        #: amounts currently held on the on-demand ledger (the spot split
+        #: means releases must mirror what was actually acquired)
+        self._held_cores = 0.0
+        self._held_memory_mb = 0.0
+        self._watch_started = False
+        self._bg_remove: Optional[Callable[[], None]] = None
+        #: executing user queries by start token (insertion-ordered), so a
+        #: hard reclamation can kill the most recently started ones
+        self._active: Dict[int, Query] = {}
+        self._tokens = itertools.count()
+        #: platform hook fired at the preemption notice (the engine's
+        #: chance to pin serverless before the deadline); receives the
+        #: notice lead time in seconds (0.0 for a no-notice hard kill)
+        self.on_preemption: Optional[Callable[[float], None]] = None
 
     # -- lifecycle -----------------------------------------------------------
     def deploy(self, instant: bool = False) -> Event:
@@ -136,7 +169,22 @@ class IaaSService:
     def _finish_boot(self, ready: Event) -> None:
         self.state = ServiceState.RUNNING
         self.boot_ready = None
-        self.ledger.acquire(self.sizing.rented_cores, self.sizing.rented_memory_mb)
+        if self.spot is not None and not self.preempted:
+            # split the rental: the spot share bills on its own ledger at
+            # the discounted rate, the rest is ordinary on-demand
+            ondemand_cores = self.sizing.rented_cores - self.spot_cores
+            ondemand_mem = self.sizing.rented_memory_mb - self.spot_memory_mb
+            assert self.spot_ledger is not None
+            self.spot_ledger.acquire(self.spot_cores, self.spot_memory_mb)
+            self._spot_held = True
+            self.ledger.acquire(ondemand_cores, ondemand_mem)
+            self._held_cores = ondemand_cores
+            self._held_memory_mb = ondemand_mem
+            self._start_preemption_watch()
+        else:
+            self.ledger.acquire(self.sizing.rented_cores, self.sizing.rented_memory_mb)
+            self._held_cores = self.sizing.rented_cores
+            self._held_memory_mb = self.sizing.rented_memory_mb
         ready.succeed()
 
     def undeploy(self) -> Event:
@@ -152,10 +200,20 @@ class IaaSService:
         self._maybe_release()
         return done
 
+    def _release_rental(self) -> None:
+        """Free whatever the service currently holds on either ledger."""
+        self.ledger.release(self._held_cores, self._held_memory_mb)
+        self._held_cores = 0.0
+        self._held_memory_mb = 0.0
+        if self._spot_held:
+            assert self.spot_ledger is not None
+            self.spot_ledger.release(self.spot_cores, self.spot_memory_mb)
+            self._spot_held = False
+
     def _maybe_release(self) -> None:
         if self.state is ServiceState.DRAINING and self.in_flight == 0:
             self.state = ServiceState.STOPPED
-            self.ledger.release(self.sizing.rented_cores, self.sizing.rented_memory_mb)
+            self._release_rental()
             if self._drained is not None:
                 self._drained.succeed()
                 self._drained = None
@@ -173,12 +231,154 @@ class IaaSService:
         if self.state is not ServiceState.DRAINING:
             return
         self.state = ServiceState.STOPPED
-        self.ledger.release(self.sizing.rented_cores, self.sizing.rented_memory_mb)
+        self._release_rental()
         if self._drained is not None:
             drained = self._drained
             self._drained = None
             if not drained.triggered:
                 drained.succeed()
+
+    # -- spot preemption ---------------------------------------------------------
+    def _start_preemption_watch(self) -> None:
+        """Arm the reclamation watcher (once) for a spot-backed rental.
+
+        Draws come from the dedicated ``faults/preemption/<svc>`` stream
+        on the plan's check interval; with ``vm_preemption_prob == 0``
+        nothing is armed and zero draws are made, keeping the zero plan
+        bit-identical to a run without spot capacity.
+        """
+        if self._watch_started or self.preempted:
+            return
+        if self.faults is None or self.faults.plan.vm_preemption_prob <= 0.0:
+            return
+        if self.faults.plan.preemption_check_interval_s <= 0.0:
+            return
+        self._watch_started = True
+        self.env.process(self._preemption_watch())
+
+    def _preemption_watch(self):
+        assert self.faults is not None
+        interval = self.faults.plan.preemption_check_interval_s
+        while not self.preempted:
+            yield self.env.timeout(interval)
+            if self.preempted:
+                return
+            if self.state is not ServiceState.RUNNING:
+                continue
+            if self.faults.vm_preempted(self.spec.name):
+                self._begin_preemption()
+                return
+
+    def _begin_preemption(self) -> None:
+        """The cloud reclaims the spot share — one episode per run.
+
+        Graceful (``SpotSpec.graceful`` with a positive notice): the
+        doomed slots stop dispatching a drain-lead before the deadline so
+        in-flight work can finish, the on-demand replacement boots
+        immediately (a notice longer than a VM boot means capacity never
+        dips), and the share is only taken at the deadline.  Hard kill
+        (no notice): the share vanishes now and whatever executed on it
+        dies mid-flight.
+        """
+        spot = self.spot
+        assert spot is not None
+        self.preempted = True
+        graceful = spot.graceful and spot.notice_s > 0.0
+        notice = spot.notice_s if graceful else 0.0
+        if graceful and self.metrics is not None:
+            self.metrics.record_preemption("noticed")
+        # the replacement starts booting at the notice, not the deadline
+        self.env.process(self._replacement_boot())
+        if self.on_preemption is not None:
+            self.on_preemption(notice)
+        if graceful:
+            lead = min(notice, max(5.0, 8.0 * self.sizing.effective_service_time))
+            self.env.schedule_callback(max(0.0, notice - lead), self._stop_doomed_dispatch)
+            self.env.schedule_callback(notice, self._reclaim_spot)
+        else:
+            self._stop_doomed_dispatch()
+            self._reclaim_spot()
+
+    def _stop_doomed_dispatch(self) -> None:
+        """Shrink the worker pool to the surviving on-demand slots."""
+        if self.replaced:
+            return  # the replacement already covers the doomed share
+        self.workers.resize(self._surviving_workers)
+
+    def _reclaim_spot(self) -> None:
+        """Deadline: the spot share is gone (billing, capacity, victims)."""
+        if self._spot_held:
+            assert self.spot_ledger is not None
+            self.spot_ledger.release(self.spot_cores, self.spot_memory_mb)
+            self._spot_held = False
+        if not self.replaced and self._bg_remove is None and self.spot_cores > 0.0:
+            # the reclaimed cores show up as standing pressure on the
+            # shared machine model until the replacement arrives
+            flavor = self.sizing.flavor
+            frac = self.spot.fraction if self.spot is not None else 0.0
+            self._bg_remove = self.machine.inject_background(
+                DemandVector(
+                    cpu=self.spot_cores,
+                    io_mbps=self.sizing.vm_count * flavor.io_mbps * frac,
+                    net_mbps=self.sizing.vm_count * flavor.net_mbps * frac,
+                )
+            )
+        victims = max(0, self.workers.count - self.workers.capacity)
+        if victims > 0:
+            self._kill_victims(victims)
+        elif self.spot is not None and self.spot.graceful and self.metrics is not None:
+            self.metrics.record_preemption("drained")
+
+    def _kill_victims(self, count: int) -> None:
+        """Kill the ``count`` most recently started executions.
+
+        Each victim is a terminal ``preempted`` drop at kill time; the
+        serving process later sees :attr:`Query.preempt_killed` and skips
+        its own terminal accounting (the leftover machine work is the
+        reclamation thrash the graceful path exists to avoid).
+        """
+        doomed = list(self._active.items())[-count:]
+        now = self.env.now
+        for token, query in doomed:
+            del self._active[token]
+            query.preempt_killed = True
+            query.failed = True
+            query.t_complete = now
+            query.served_by = "iaas"
+            if self.metrics is not None:
+                self.metrics.record_drop(query, "preempted")
+                self.metrics.record_preemption("killed_inflight")
+            query.notify_done()
+            self.in_flight -= 1
+        self._maybe_release()
+
+    def _replacement_boot(self):
+        """Boot the on-demand replacement for the reclaimed share."""
+        flavor = self.sizing.flavor
+        boot = self.rng.lognormal_around(
+            f"vmboot/{self.spec.name}", flavor.boot_median, flavor.boot_sigma
+        )
+        yield self.env.timeout(boot)
+        self._restore_capacity()
+
+    def _restore_capacity(self) -> None:
+        self.replaced = True
+        if self._bg_remove is not None:
+            self._bg_remove()
+            self._bg_remove = None
+        self.workers.resize(self.sizing.workers)
+        # re-rent the reclaimed share at the on-demand rate while the
+        # rental is live; top up to the full sizing so a redeploy that
+        # already acquired everything is not double-billed
+        if self._held_cores > 0.0 or self._spot_held:
+            missing_cores = max(0.0, self.sizing.rented_cores - self._held_cores)
+            missing_mem = max(0.0, self.sizing.rented_memory_mb - self._held_memory_mb)
+            if missing_cores > 0.0 or missing_mem > 0.0:
+                self.ledger.acquire(missing_cores, missing_mem)
+                self._held_cores += missing_cores
+                self._held_memory_mb += missing_mem
+        if self.metrics is not None:
+            self.metrics.record_preemption("replaced")
 
     # -- serving ----------------------------------------------------------------
     def invoke(self, query: Query) -> None:
@@ -252,8 +452,16 @@ class IaaSService:
             self._maybe_release()
             return
         work = self.rng.lognormal_around(f"iaas-exec/{spec.name}", spec.exec_time, spec.exec_sigma)
+        token = next(self._tokens)
+        self._active[token] = query
         exec_t = yield self.machine.execute(work, spec.demand, spec.sensitivity)
+        self._active.pop(token, None)
         self.workers.release(req)
+        if query.preempt_killed:
+            # terminal accounting already happened at the reclamation;
+            # the machine work that just finished was the ghost of the
+            # killed execution
+            return
         query.breakdown["exec"] = exec_t
         query.t_complete = self.env.now
         query.served_by = "iaas"

@@ -18,8 +18,9 @@ from dataclasses import dataclass, replace
 #: Canonical drop-reason family shared by telemetry and the reports:
 #: ``crash`` (retry exhaustion, PR 3 fault layer), ``admission`` (rejected
 #: on arrival), ``shed`` (queue wait blew the budget), ``breaker``
-#: (brownout drop-tail).
-DROP_REASONS = ("crash", "admission", "shed", "breaker")
+#: (brownout drop-tail), ``preempted`` (killed in-flight when the cloud
+#: reclaimed a spot VM share).
+DROP_REASONS = ("crash", "admission", "shed", "breaker", "preempted")
 
 
 @dataclass(frozen=True)

@@ -67,6 +67,9 @@ class Frontend:
                 self._reject(fs, query, reason)
                 return
         self.accepted += 1
+        if not query.canary:
+            # conservation census: terminal paths in the pool decrement
+            fs.user_in_flight += 1
         draw = self._proc_draw.get(query.service)
         if draw is None:
             draw = self._proc_draw[query.service] = self.rng.lognormal_sampler(

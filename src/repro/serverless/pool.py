@@ -57,6 +57,10 @@ class FunctionState:
     n_busy: int = 0
     cold_starts: int = 0
     completions: int = 0
+    #: accepted, non-canary queries not yet terminal anywhere in the
+    #: platform (front-end delay, queue, container, retry backoff) — the
+    #: serverless half of the invariant monitor's conservation census
+    user_in_flight: int = 0
     #: total billed execution seconds (code load + execution + posting),
     #: the maintainer-side GB-second basis (see repro.cluster.pricing)
     busy_seconds: float = 0.0
@@ -221,6 +225,8 @@ class ContainerPool:
             fs.metrics.record_drop(query, "shed")
         if fs.overload is not None and not query.canary:
             fs.overload.note_rejection("shed", self.env.now)
+        if not query.canary:
+            fs.user_in_flight -= 1
         query.notify_done()
 
     def _can_launch(self, fs: FunctionState) -> bool:
@@ -438,6 +444,8 @@ class ContainerPool:
                 fs.metrics.record_drop(query, "crash")
             if fs.overload is not None and not query.canary:
                 fs.overload.note_outcome(False, self.env.now)
+            if not query.canary:
+                fs.user_in_flight -= 1
             query.notify_done()
         self._pump(fs)
 
@@ -459,6 +467,8 @@ class ContainerPool:
             fs.metrics.record_completion(query)
         if fs.overload is not None and not query.canary:
             fs.overload.note_outcome(query.latency <= fs.spec.qos_target, self.env.now)
+        if not query.canary:
+            fs.user_in_flight -= 1
         query.notify_done()
         fs.completions += 1
         fs.busy_seconds += load_t + exec_t + post_t

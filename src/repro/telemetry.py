@@ -19,7 +19,13 @@ from repro.overload import DROP_REASONS
 from repro.sim import OnlineStats, P2Quantile, ReservoirSample
 from repro.workloads import Query
 
-__all__ = ["DROP_REASONS", "RETRY_KINDS", "LoadEstimator", "ServiceMetrics"]
+__all__ = [
+    "DROP_REASONS",
+    "PREEMPTION_KINDS",
+    "RETRY_KINDS",
+    "LoadEstimator",
+    "ServiceMetrics",
+]
 
 #: the latency stages platforms may report in Query.breakdown
 STAGES = ("proc", "queue", "cold", "load", "exec", "post")
@@ -30,6 +36,13 @@ STAGES = ("proc", "queue", "cold", "load", "exec", "post")
 #: (a retry deterministically given up because the remaining end-to-end
 #: budget could no longer cover a downstream attempt)
 RETRY_KINDS = ("attempted", "exhausted", "deadline_abandoned")
+
+#: the unified ``preemptions{kind}`` counter family for spot reclamation
+#: episodes: ``noticed`` (a reclamation warning was delivered),
+#: ``drained`` (a graceful episode finished with no in-flight casualty),
+#: ``killed_inflight`` (a query died on the reclaimed share — one count
+#: per query), ``replaced`` (an on-demand replacement restored capacity)
+PREEMPTION_KINDS = ("noticed", "drained", "killed_inflight", "replaced")
 
 
 class LoadEstimator:
@@ -108,6 +121,9 @@ class ServiceMetrics:
         #: exhaustion), admission (rejected on arrival), shed (queue
         #: wait blew the budget), breaker (brownout drop-tail)
         self.drops: Dict[str, int] = {reason: 0 for reason in DROP_REASONS}
+        #: the unified ``preemptions{kind}`` family (spot reclamation):
+        #: noticed, drained, killed_inflight, replaced
+        self.preemptions: Dict[str, int] = {kind: 0 for kind in PREEMPTION_KINDS}
 
     def record_arrival(self, t: float, canary: bool = False) -> None:
         """Register a query submission (canaries excluded from load)."""
@@ -172,6 +188,25 @@ class ServiceMetrics:
     def total_retries(self) -> int:
         """Sum over the ``retries{kind}`` family."""
         return sum(self.retries.values())
+
+    def record_preemption(self, kind: str) -> None:
+        """Count one spot-reclamation event in the ``preemptions{kind}`` family.
+
+        ``noticed`` when the cloud delivers a reclamation warning,
+        ``drained`` when a graceful episode completes without killing
+        anything in flight, ``killed_inflight`` per query that dies on
+        the reclaimed share (those queries are also dropped with reason
+        ``preempted``), and ``replaced`` when the on-demand replacement
+        restores the lost capacity.
+        """
+        if kind not in self.preemptions:
+            raise ValueError(f"unknown preemption kind {kind!r}")
+        self.preemptions[kind] += 1
+
+    @property
+    def total_preemption_events(self) -> int:
+        """Sum over the ``preemptions{kind}`` family."""
+        return sum(self.preemptions.values())
 
     def record_drop(self, query: Query, reason: str) -> None:
         """Count one dropped user query in the ``dropped{reason}`` family.

@@ -27,6 +27,7 @@ from repro.workloads.traces import (
     BurstTrace,
     ConstantTrace,
     DiurnalTrace,
+    FlashCrowdTrace,
     SampledTrace,
     StepTrace,
     Trace,
@@ -38,6 +39,7 @@ __all__ = [
     "BurstTrace",
     "ConstantTrace",
     "DiurnalTrace",
+    "FlashCrowdTrace",
     "LoadGenerator",
     "MicroserviceSpec",
     "Query",

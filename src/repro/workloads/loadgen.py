@@ -42,6 +42,10 @@ class Query:
     attempts: int = 0
     #: True once the retry budget is spent and the query is dropped
     failed: bool = False
+    #: True when a spot reclamation killed this query mid-execution; the
+    #: serving process sees the flag when the (ghost) machine work
+    #: finishes and skips the terminal accounting already done at kill
+    preempt_killed: bool = False
     #: absolute end-to-end deadline propagated down a call graph; None
     #: means no budget is attached and admission falls back to the
     #: service's own QoS target (the flat, pre-graph behaviour)

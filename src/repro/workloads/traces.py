@@ -28,12 +28,30 @@ __all__ = [
     "BurstTrace",
     "ConstantTrace",
     "DiurnalTrace",
+    "FlashCrowdTrace",
     "SampledTrace",
     "StepTrace",
     "Trace",
 ]
 
 DAY = 86400.0
+
+
+def peak_concurrent_extra(bursts: Sequence[tuple[float, float, float]]) -> float:
+    """Maximum simultaneous sum of rectangular ``(start, duration, extra)`` rates.
+
+    The sum of active rectangles is piecewise constant and can only
+    reach a new maximum at some rectangle's start, so evaluating the
+    overlap sum at each start covers every candidate instant.  With a
+    single burst this reduces to the burst's own extra; *overlapping*
+    bursts stack, which a plain ``max`` over extras understates.
+    """
+    best = 0.0
+    for start, _, _ in bursts:
+        total = sum(extra for s, d, extra in bursts if s <= start < s + d)
+        if total > best:
+            best = total
+    return best
 
 
 class Trace:
@@ -259,11 +277,88 @@ class BurstTrace(Trace):
                 raise ValueError(f"bad burst ({start}, {duration}, {extra})")
         self.base = base
         self.bursts = tuple(bursts)
-        self.peak_rate = base.peak_rate + max((b[2] for b in bursts), default=0.0)
+        # overlapping bursts stack, so the design peak is the max over
+        # *summed* concurrent extras, not the single largest burst
+        self.peak_rate = base.peak_rate + peak_concurrent_extra(self.bursts)
 
     def rate(self, t: float) -> float:
         r = self.base.rate(t)
         for start, duration, extra in self.bursts:
+            if start <= t < start + duration:
+                r += extra
+        return r
+
+
+class FlashCrowdTrace(Trace):
+    """A base trace with a seeded Poisson train of flash-crowd spikes.
+
+    Spike arrivals over ``[0, horizon)`` form a Poisson process with
+    mean inter-arrival ``mean_gap_s`` (drawn once at construction from
+    the ``(seed, 0)`` stream); spike ``k``'s magnitude and duration come
+    from its own ``(seed, k)`` stream, so adding or removing one spike
+    never perturbs another's shape.  Each spike is a rectangle of extra
+    rate layered on the base — the surge-mode stress pattern the
+    controller's Eq. 7 prewarm margin must absorb (paper §II-E's sudden
+    load challenge, at flash-crowd scale).
+
+    Parameters
+    ----------
+    base:
+        The underlying (e.g. diurnal) trace.
+    horizon:
+        Time span to populate with spikes, seconds.
+    mean_gap_s:
+        Mean gap between spike starts (Poisson arrivals).
+    magnitude:
+        Median extra rate per spike, queries/second.
+    duration_s:
+        Median spike duration, seconds.
+    seed:
+        Root seed for the spike train.
+    magnitude_sigma, duration_sigma:
+        Lognormal spread of per-spike magnitude/duration.
+    """
+
+    def __init__(
+        self,
+        base: Trace,
+        horizon: float,
+        mean_gap_s: float,
+        magnitude: float,
+        duration_s: float = 60.0,
+        seed: int = 0,
+        magnitude_sigma: float = 0.35,
+        duration_sigma: float = 0.25,
+    ):
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if mean_gap_s <= 0:
+            raise ValueError(f"mean_gap_s must be positive, got {mean_gap_s}")
+        if magnitude < 0 or duration_s <= 0:
+            raise ValueError("magnitude must be >= 0 and duration_s positive")
+        if magnitude_sigma < 0 or duration_sigma < 0:
+            raise ValueError("sigmas must be >= 0")
+        self.base = base
+        self.horizon = float(horizon)
+        # the gap stream is (seed, 0); spike k's shape stream is (seed, k)
+        # — deterministic one-shot construction, like DiurnalTrace's table
+        gap_rng = np.random.default_rng((seed, 0))  # simlint: ignore[SIM002]
+        spikes = []
+        t = float(gap_rng.exponential(mean_gap_s))
+        k = 1
+        while t < self.horizon:
+            srng = np.random.default_rng((seed, k))  # simlint: ignore[SIM002]
+            extra = magnitude * float(srng.lognormal(0.0, magnitude_sigma))
+            dur = duration_s * float(srng.lognormal(0.0, duration_sigma))
+            spikes.append((t, dur, extra))
+            t += float(gap_rng.exponential(mean_gap_s))
+            k += 1
+        self.spikes = tuple(spikes)
+        self.peak_rate = base.peak_rate + peak_concurrent_extra(self.spikes)
+
+    def rate(self, t: float) -> float:
+        r = self.base.rate(t)
+        for start, duration, extra in self.spikes:
             if start <= t < start + duration:
                 r += extra
         return r

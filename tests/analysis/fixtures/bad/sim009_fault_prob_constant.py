@@ -2,9 +2,17 @@
 
 CRASH_PROB = 0.01
 ACK_LOSS_RATE: float = 0.15
+PREEMPTION_PROB = 0.3
+SPIKE_RATE: float = 0.05
 
 
 def maybe_crash(draw: float) -> bool:
     if draw < CRASH_PROB:
         return True
     return draw < ACK_LOSS_RATE
+
+
+def maybe_reclaim(draw: float) -> bool:
+    if draw < PREEMPTION_PROB:
+        return True
+    return draw < SPIKE_RATE

@@ -13,9 +13,19 @@ from dataclasses import dataclass
 class ProbePlan:
     crash_prob: float = 0.0
     ack_loss_prob: float = 0.0
+    preemption_prob: float = 0.0
+    spike_rate: float = 0.0
 
 
 def maybe_crash(plan: ProbePlan, registry, service: str) -> bool:
     if plan.crash_prob <= 0.0:
         return False
     return bool(registry.stream(f"faults/crash/{service}").uniform() < plan.crash_prob)
+
+
+def maybe_reclaim(plan: ProbePlan, registry, service: str) -> bool:
+    if plan.preemption_prob <= 0.0:
+        return False
+    return bool(
+        registry.stream(f"faults/preemption/{service}").uniform() < plan.preemption_prob
+    )

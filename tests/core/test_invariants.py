@@ -1,0 +1,138 @@
+"""The always-on kernel invariant monitor."""
+
+import pickle
+
+import pytest
+
+from repro.core.invariants import InvariantMonitor, InvariantViolation
+from repro.core.runtime import AmoebaRuntime
+from repro.sim.environment import Environment
+from repro.telemetry import ServiceMetrics
+from repro.workloads.functionbench import benchmark
+from repro.workloads.traces import ConstantTrace
+
+
+def make_monitor(**kw):
+    env = Environment()
+    return env, InvariantMonitor(env, **kw)
+
+
+def make_metrics(name="svc"):
+    return ServiceMetrics(name, 1.0)
+
+
+class TestConstruction:
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            InvariantMonitor(env, check_interval=0.0)
+        with pytest.raises(ValueError):
+            InvariantMonitor(env, check_interval=60.0, wedge_window=30.0)
+
+    def test_duplicate_register_rejected(self):
+        env, mon = make_monitor()
+        mon.register("svc", make_metrics(), lambda: 0)
+        with pytest.raises(ValueError):
+            mon.register("svc", make_metrics(), lambda: 0)
+
+    def test_checks_run_periodically(self):
+        env, mon = make_monitor(check_interval=10.0)
+        mon.register("svc", make_metrics(), lambda: 0)
+        env.run(until=105.0)
+        assert mon.checks == 10
+
+
+class TestViolations:
+    def test_terminals_exceeding_arrivals_is_conservation(self):
+        env, mon = make_monitor()
+        m = make_metrics()
+        m.completed = 3  # no arrivals recorded
+        mon.register("svc", m, lambda: 0)
+        with pytest.raises(InvariantViolation) as exc:
+            mon.check_now()
+        assert exc.value.invariant == "conservation"
+        assert exc.value.service == "svc"
+
+    def test_negative_census(self):
+        env, mon = make_monitor()
+        mon.register("svc", make_metrics(), lambda: -1)
+        with pytest.raises(InvariantViolation) as exc:
+            mon.check_now()
+        assert exc.value.invariant == "census"
+
+    def test_clock_monotonicity(self):
+        env, mon = make_monitor()
+        mon._last_now = 100.0  # as if a check had run in the "future"
+        with pytest.raises(InvariantViolation) as exc:
+            mon.check_now()
+        assert exc.value.invariant == "clock"
+
+    def test_wedged_service_trips_liveness(self):
+        env, mon = make_monitor(check_interval=60.0, wedge_window=120.0)
+        m = make_metrics()
+        m.record_arrival(0.0)
+        mon.register("svc", m, lambda: 1)  # one query, forever in flight
+        with pytest.raises(InvariantViolation) as exc:
+            env.run(until=1000.0)
+        assert exc.value.invariant == "liveness"
+
+    def test_progress_resets_the_wedge_clock(self):
+        env, mon = make_monitor(check_interval=60.0, wedge_window=120.0)
+        m = make_metrics()
+        mon.register("svc", m, lambda: 1)
+
+        def churn():
+            while True:
+                yield env.timeout(50.0)
+                m.record_arrival(env.now)
+                m.completed += 1
+
+        env.process(churn())
+        env.run(until=1000.0)  # no violation: terminals keep advancing
+        assert mon.checks > 10
+
+    def test_horizon_requires_exact_conservation(self):
+        env, mon = make_monitor()
+        m = make_metrics()
+        m.record_arrival(0.0)
+        m.record_arrival(0.0)
+        m.completed = 1
+        mon.register("svc", m, lambda: 0)  # one arrival unaccounted for
+        with pytest.raises(InvariantViolation) as exc:
+            mon.check_horizon()
+        assert exc.value.invariant == "conservation"
+        assert "at horizon" in str(exc.value)
+
+    def test_horizon_passes_when_books_balance(self):
+        env, mon = make_monitor()
+        m = make_metrics()
+        m.record_arrival(0.0)
+        m.record_arrival(0.0)
+        m.completed = 1
+        mon.register("svc", m, lambda: 1)  # the second arrival is in flight
+        mon.check_horizon()
+
+
+class TestViolationPickling:
+    def test_fields_survive_the_process_pool_boundary(self):
+        exc = InvariantViolation("books off", invariant="conservation", service="svc")
+        back = pickle.loads(pickle.dumps(exc))
+        assert isinstance(back, InvariantViolation)
+        assert str(back) == "books off"
+        assert back.invariant == "conservation"
+        assert back.service == "svc"
+
+
+class TestRuntimeIntegration:
+    def test_monitor_rides_along_every_run(self):
+        rt = AmoebaRuntime(seed=7)
+        rt.add_service(benchmark("float"), ConstantTrace(5.0), limit=6)
+        rt.run(until=600.0)  # run() would raise on any violation
+        assert rt.invariants.checks >= 9
+
+    def test_background_services_are_watched_too(self):
+        rt = AmoebaRuntime(seed=7)
+        rt.add_service(benchmark("float"), ConstantTrace(5.0), limit=6)
+        rt.add_background(benchmark("dd"), ConstantTrace(2.0))
+        rt.run(until=300.0)
+        assert set(rt.invariants._watches) == {"float", "dd"}

@@ -75,6 +75,29 @@ class TestCounters:
         assert inj.stats.meter_outages == 1
 
 
+class TestPreemption:
+    def test_zero_prob_makes_no_draws(self):
+        inj, rng = make()
+        assert not inj.vm_preempted("svc")
+        assert rng._streams == {}
+        assert inj.stats.vm_preemptions == 0
+
+    def test_certain_preemption_counts_and_uses_named_stream(self):
+        inj, rng = make(FaultPlan(vm_preemption_prob=1.0))
+        assert inj.vm_preempted("svc")
+        assert inj.stats.vm_preemptions == 1
+        assert set(rng._streams) == {"faults/preemption/svc"}
+
+    def test_same_seed_same_preemption_sequence(self):
+        plan = FaultPlan(vm_preemption_prob=0.3)
+        a, _ = make(plan, seed=21)
+        b, _ = make(plan, seed=21)
+        seq_a = [a.vm_preempted("svc") for _ in range(200)]
+        seq_b = [b.vm_preempted("svc") for _ in range(200)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+
+
 class TestAckFilter:
     def test_lost_ack_never_fires(self):
         env = Environment()

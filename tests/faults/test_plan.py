@@ -59,6 +59,28 @@ class TestScaling:
             FaultPlan().scaled(-1.0)
 
 
+class TestPreemptionFields:
+    def test_zero_preemption_is_inert(self):
+        assert FaultPlan(vm_preemption_prob=0.0).vm_preemption_prob == 0.0
+        assert not FaultPlan(vm_preemption_prob=0.0).any_faults
+
+    def test_preemption_prob_counts_as_a_fault(self):
+        assert FaultPlan(vm_preemption_prob=0.2).any_faults
+
+    def test_preemption_prob_scales(self):
+        plan = FaultPlan(vm_preemption_prob=0.4, preemption_check_interval_s=15.0)
+        half = plan.scaled(0.5)
+        assert half.vm_preemption_prob == pytest.approx(0.2)
+        # the check cadence is policy, not a probability: scaling keeps it
+        assert half.preemption_check_interval_s == 15.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(vm_preemption_prob=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(preemption_check_interval_s=-1.0)
+
+
 def test_describe_lists_only_active_rates():
     assert FaultPlan().describe() == "faults(none)"
     text = FaultPlan(container_crash_prob=0.25).describe()

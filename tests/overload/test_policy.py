@@ -71,4 +71,4 @@ class TestHelpers:
         assert tightened.enabled
 
     def test_drop_reason_family_is_canonical(self):
-        assert DROP_REASONS == ("crash", "admission", "shed", "breaker")
+        assert DROP_REASONS == ("crash", "admission", "shed", "breaker", "preempted")

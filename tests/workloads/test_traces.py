@@ -7,7 +7,9 @@ from repro.workloads.traces import (
     BurstTrace,
     ConstantTrace,
     DiurnalTrace,
+    FlashCrowdTrace,
     StepTrace,
+    peak_concurrent_extra,
 )
 
 
@@ -129,3 +131,62 @@ class TestBurstTrace:
     def test_mean_rate_interval_validation(self):
         with pytest.raises(ValueError):
             ConstantTrace(1.0).mean_rate(5.0, 5.0)
+
+    def test_overlapping_bursts_stack_in_peak_rate(self):
+        # regression: peak_rate used to take the single largest extra,
+        # undersizing rentals whenever bursts overlapped
+        t = BurstTrace(ConstantTrace(2.0), [(10.0, 20.0, 3.0), (15.0, 10.0, 4.0)])
+        assert t.rate(18.0) == 2.0 + 3.0 + 4.0
+        assert t.peak_rate == 2.0 + 3.0 + 4.0
+
+    def test_disjoint_bursts_do_not_stack(self):
+        t = BurstTrace(ConstantTrace(2.0), [(10.0, 5.0, 3.0), (100.0, 5.0, 4.0)])
+        assert t.peak_rate == 2.0 + 4.0
+
+    def test_peak_concurrent_extra_helper(self):
+        assert peak_concurrent_extra(()) == 0.0
+        # a burst ending exactly where another starts does not stack
+        assert peak_concurrent_extra([(0.0, 10.0, 2.0), (10.0, 5.0, 3.0)]) == 3.0
+        assert peak_concurrent_extra([(0.0, 10.0, 2.0), (9.0, 5.0, 3.0)]) == 5.0
+
+
+class TestFlashCrowdTrace:
+    def test_spikes_add_rate(self):
+        t = FlashCrowdTrace(
+            ConstantTrace(2.0), horizon=3600.0, mean_gap_s=300.0, magnitude=6.0, seed=1
+        )
+        assert t.spikes, "an hour at 300s mean gap should produce spikes"
+        start, duration, extra = t.spikes[0]
+        assert t.rate(start + 0.5 * duration) == pytest.approx(2.0 + extra)
+        assert t.peak_rate >= 2.0 + max(s[2] for s in t.spikes)
+
+    def test_deterministic_per_seed(self):
+        kw = dict(horizon=7200.0, mean_gap_s=600.0, magnitude=5.0)
+        a = FlashCrowdTrace(ConstantTrace(1.0), seed=9, **kw)
+        b = FlashCrowdTrace(ConstantTrace(1.0), seed=9, **kw)
+        c = FlashCrowdTrace(ConstantTrace(1.0), seed=10, **kw)
+        assert a.spikes == b.spikes
+        assert a.spikes != c.spikes
+
+    def test_spike_shapes_are_stream_independent(self):
+        # spike k's shape comes from its own (seed, k) stream: shrinking
+        # the horizon drops later spikes without perturbing earlier ones
+        long = FlashCrowdTrace(
+            ConstantTrace(1.0), horizon=7200.0, mean_gap_s=600.0, magnitude=5.0, seed=4
+        )
+        short = FlashCrowdTrace(
+            ConstantTrace(1.0), horizon=1800.0, mean_gap_s=600.0, magnitude=5.0, seed=4
+        )
+        assert long.spikes[: len(short.spikes)] == short.spikes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashCrowdTrace(ConstantTrace(1.0), horizon=0.0, mean_gap_s=10.0, magnitude=1.0)
+        with pytest.raises(ValueError):
+            FlashCrowdTrace(ConstantTrace(1.0), horizon=10.0, mean_gap_s=0.0, magnitude=1.0)
+        with pytest.raises(ValueError):
+            FlashCrowdTrace(ConstantTrace(1.0), horizon=10.0, mean_gap_s=10.0, magnitude=-1.0)
+        with pytest.raises(ValueError):
+            FlashCrowdTrace(
+                ConstantTrace(1.0), horizon=10.0, mean_gap_s=10.0, magnitude=1.0, duration_s=0.0
+            )
